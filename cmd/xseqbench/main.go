@@ -1,0 +1,94 @@
+// Command xseqbench regenerates the paper's evaluation tables and figures
+// (Section 6). Every experiment prints a paper-style table; see DESIGN.md
+// for the experiment index and EXPERIMENTS.md for recorded runs.
+//
+// Usage:
+//
+//	xseqbench [-exp all|fig14a,table7,...] [-scale 0.02] [-seed 42]
+//	          [-queries 50] [-pool 256] [-list]
+//
+// Scale 1.0 reproduces paper-sized datasets (millions of records; takes a
+// long time and a lot of memory); the default keeps each experiment in
+// seconds while preserving the reported shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"xseq/internal/bench"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Float64("scale", 0.02, "dataset scale relative to the paper (1.0 = paper size)")
+		seed    = flag.Int64("seed", 42, "random seed for data generation")
+		queries = flag.Int("queries", 50, "random queries per measurement point")
+		pool    = flag.Int("pool", 0, "buffer pool pages for I/O experiments (0 = default 256)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		chart   = flag.Bool("chart", false, "render figure experiments as ASCII charts too")
+		out     = flag.String("out", "", "also write the output to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Short)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Queries: *queries, PoolPages: *pool}
+	var selected []bench.Experiment
+	if *exps == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "xseqbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "xseqbench: close: %v\n", err)
+			}
+		}()
+		sink = io.MultiWriter(os.Stdout, f)
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tabs, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tabs {
+			fmt.Fprintln(sink, t.Format())
+			if *chart && strings.HasPrefix(e.ID, "fig") {
+				if c := t.Chart(nil); c != "" {
+					fmt.Fprintln(sink, c)
+				}
+			}
+		}
+		fmt.Fprintf(sink, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,95 @@
+// Command xseqgen emits the benchmark corpora as XML: the synthetic tree
+// structures (named by their generation parameters, e.g. L3F5A25I0P40),
+// the XMark-like auction records, and the DBLP-like bibliography records
+// (Section 6.1). Records are wrapped in a single <corpus> element, one
+// child per record, the format cmd/xseqquery reads back.
+//
+// Usage:
+//
+//	xseqgen -dataset synth -params L3F5A25I0P40 -n 1000 > corpus.xml
+//	xseqgen -dataset xmark -identical -n 1000 -out xmark.xml
+//	xseqgen -dataset dblp -n 1000 -out dblp.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xseq/internal/datagen"
+	"xseq/internal/xmltree"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "synth", "synth | xmark | dblp")
+		params    = flag.String("params", "L3F5A25I0P40", "synthetic dataset name (L?F?A?I?P?)")
+		n         = flag.Int("n", 1000, "number of records")
+		seed      = flag.Int64("seed", 42, "random seed")
+		identical = flag.Bool("identical", false, "xmark: enable identical sibling nodes")
+		out       = flag.String("out", "", "output file (default stdout)")
+		stats     = flag.Bool("stats", false, "print corpus statistics to stderr")
+	)
+	flag.Parse()
+
+	docs, err := generate(*dataset, *params, *n, *seed, *identical)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xseqgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, xmltree.CollectStats(docs).String())
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "xseqgen: close: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "<corpus>")
+	for _, d := range docs {
+		if err := xmltree.WriteXML(bw, d.Root); err != nil {
+			fmt.Fprintf(os.Stderr, "xseqgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintln(bw, "</corpus>")
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "xseqgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func generate(dataset, params string, n int, seed int64, identical bool) ([]*xmltree.Document, error) {
+	switch dataset {
+	case "synth":
+		p, err := datagen.ParseSynthName(params)
+		if err != nil {
+			return nil, err
+		}
+		p.Seed = seed
+		_, docs, err := datagen.Synth(p, n)
+		return docs, err
+	case "xmark":
+		_, docs, err := datagen.XMark(datagen.XMarkOptions{IdenticalSiblings: identical, Seed: seed}, n)
+		return docs, err
+	case "dblp":
+		_, docs, err := datagen.DBLP(datagen.DBLPOptions{Seed: seed}, n)
+		return docs, err
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (synth|xmark|dblp)", dataset)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestGenerateDatasets(t *testing.T) {
+	cases := []struct {
+		dataset string
+		params  string
+		wantErr bool
+	}{
+		{"synth", "L3F5A25I0P40", false},
+		{"synth", "bogus", true},
+		{"xmark", "", false},
+		{"dblp", "", false},
+		{"unknown", "", true},
+	}
+	for _, c := range cases {
+		docs, err := generate(c.dataset, c.params, 20, 1, true)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s/%s: expected error", c.dataset, c.params)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.dataset, err)
+			continue
+		}
+		if len(docs) != 20 {
+			t.Errorf("%s: generated %d docs", c.dataset, len(docs))
+		}
+		for _, d := range docs {
+			if d.Root == nil || d.Root.Size() < 1 {
+				t.Errorf("%s: empty record", c.dataset)
+				break
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := generate("dblp", "", 10, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate("dblp", "", 10, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Root.String() != b[i].Root.String() {
+			t.Fatalf("doc %d differs across runs", i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command xseqquery builds a constraint-sequence index over a corpus file
+// (the <corpus>-wrapped record format cmd/xseqgen emits, where each child
+// of the root is one record) and answers XPath-subset queries against it.
+//
+// Usage:
+//
+//	xseqquery -data corpus.xml "/site//person/*/age[text='32']" ...
+//	xseqquery -data corpus.xml -stats            # index statistics only
+//	xseqquery -data corpus.xml -io "/a/b"        # with simulated I/O costs
+//	xseqquery -data corpus.xml -verify "/a[b='x']"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xseq"
+	"xseq/internal/xmltree"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "corpus XML file (or use -loadindex)")
+		stats   = flag.Bool("stats", false, "print index statistics")
+		verify  = flag.Bool("verify", false, "verify candidates against stored documents (exact values)")
+		ioSim   = flag.Bool("io", false, "report simulated disk accesses per query")
+		pool    = flag.Int("pool", 0, "buffer pool pages for -io (0 = default 256)")
+		maxIDs  = flag.Int("show", 20, "maximum result ids to print per query")
+		text    = flag.Bool("text", false, "index values as character sequences (enables [text='p*'] prefix queries)")
+		explain = flag.Bool("explain", false, "print the work profile of each query")
+		schema  = flag.Bool("schema", false, "print the inferred schema outline")
+		saveIdx = flag.String("saveindex", "", "write the built index to this file")
+		loadIdx = flag.String("loadindex", "", "load a previously saved index instead of building")
+	)
+	flag.Parse()
+
+	var ix *xseq.Index
+	buildStart := time.Now()
+	switch {
+	case *loadIdx != "":
+		f, err := os.Open(*loadIdx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
+			os.Exit(1)
+		}
+		ix, err = xseq.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
+			os.Exit(1)
+		}
+	case *data != "":
+		docs, err := loadCorpus(*data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
+			os.Exit(1)
+		}
+		ix, err = xseq.Build(docs, xseq.Config{KeepDocuments: *verify || *saveIdx != "", TextValues: *text})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "xseqquery: one of -data or -loadindex is required")
+		os.Exit(2)
+	}
+	if *saveIdx != "" {
+		f, err := os.Create(*saveIdx)
+		if err == nil {
+			err = ix.Save(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqquery: save: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("index saved to %s\n", *saveIdx)
+	}
+	s := ix.Stats()
+	fmt.Printf("indexed %d records: %d trie nodes, %d path links, ~%d bytes (ready in %v)\n",
+		s.Documents, s.IndexNodes, s.Links, s.EstimatedDiskBytes,
+		time.Since(buildStart).Round(time.Millisecond))
+	if *schema {
+		if outline := ix.SchemaOutline(); outline != "" {
+			fmt.Print(outline)
+		} else {
+			fmt.Println("(no schema outline: index was loaded from a snapshot)")
+		}
+	}
+	if *stats && flag.NArg() == 0 {
+		return
+	}
+	if *ioSim {
+		pages, err := ix.EnablePagedIO(*pool)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("paged layout: %d pages of 4KiB\n", pages)
+	}
+
+	for _, q := range flag.Args() {
+		if *ioSim {
+			ix.DropIOCache()
+		}
+		start := time.Now()
+		var ids []int32
+		var ex xseq.Explain
+		var err error
+		switch {
+		case *verify:
+			ids, err = ix.QueryVerified(q)
+		case *explain:
+			ids, ex, err = ix.QueryExplain(q)
+		default:
+			ids, err = ix.Query(q)
+		}
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqquery: %q: %v\n", q, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nquery  %s\n", q)
+		fmt.Printf("hits   %d in %v\n", len(ids), elapsed.Round(time.Microsecond))
+		if *ioSim {
+			fmt.Printf("io     %d disk accesses (%d reads)\n", ix.IO().DiskAccesses, ix.IO().Reads)
+		}
+		if *explain {
+			fmt.Printf("work   %d instances, %d orders, %d probes, %d scanned, %d cover checks (%d rejections)\n",
+				ex.Instances, ex.Orders, ex.LinkProbes, ex.EntriesScanned, ex.CoverChecks, ex.CoverRejections)
+		}
+		shown := ids
+		if len(shown) > *maxIDs {
+			shown = shown[:*maxIDs]
+		}
+		fmt.Printf("ids    %v", shown)
+		if len(ids) > len(shown) {
+			fmt.Printf(" ... (%d more)", len(ids)-len(shown))
+		}
+		fmt.Println()
+	}
+}
+
+// loadCorpus reads a <corpus> file; each child of the root element becomes
+// one record, with ids assigned in order.
+func loadCorpus(path string) ([]*xseq.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	root, err := xmltree.Parse(f, xmltree.ParseOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if len(root.Children) == 0 {
+		return nil, fmt.Errorf("corpus %s has no records", path)
+	}
+	var docs []*xseq.Document
+	for i, rec := range root.Children {
+		if rec.IsValue {
+			continue
+		}
+		// Round-trip through XML keeps the public API the only entry
+		// point for document construction.
+		var sb recBuffer
+		if err := xmltree.WriteXML(&sb, rec); err != nil {
+			return nil, err
+		}
+		d, err := xseq.ParseDocumentString(int32(i), sb.String())
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+type recBuffer struct{ b []byte }
+
+func (r *recBuffer) Write(p []byte) (int, error) {
+	r.b = append(r.b, p...)
+	return len(p), nil
+}
+
+func (r *recBuffer) String() string { return string(r.b) }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCorpus(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corpus.xml")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCorpus(t *testing.T) {
+	path := writeCorpus(t, `<corpus>
+	  <rec><title>alpha</title></rec>
+	  <rec><title>beta</title></rec>
+	</corpus>`)
+	docs, err := loadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("loaded %d records", len(docs))
+	}
+	if docs[0].ID() != 0 || docs[1].ID() != 1 {
+		t.Fatalf("ids = %d %d", docs[0].ID(), docs[1].ID())
+	}
+	if docs[0].NumNodes() != 3 {
+		t.Fatalf("record nodes = %d", docs[0].NumNodes())
+	}
+}
+
+func TestLoadCorpusErrors(t *testing.T) {
+	if _, err := loadCorpus(filepath.Join(t.TempDir(), "missing.xml")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	empty := writeCorpus(t, `<corpus></corpus>`)
+	if _, err := loadCorpus(empty); err == nil {
+		t.Fatal("empty corpus should fail")
+	}
+	bad := writeCorpus(t, `not xml at all`)
+	if _, err := loadCorpus(bad); err == nil {
+		t.Fatal("malformed corpus should fail")
+	}
+}
+
+func TestLoadCorpusSkipsTextBetweenRecords(t *testing.T) {
+	path := writeCorpus(t, `<corpus>
+	  stray text
+	  <rec><a>1</a></rec>
+	</corpus>`)
+	docs, err := loadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("loaded %d records", len(docs))
+	}
+}
+
+func TestRecBuffer(t *testing.T) {
+	var b recBuffer
+	n, err := b.Write([]byte("hello "))
+	if err != nil || n != 6 {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if _, err := b.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "hello world" {
+		t.Fatalf("buffer = %q", b.String())
+	}
+}

@@ -1,0 +1,107 @@
+package xseq_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"xseq"
+)
+
+// The basic flow: parse records, build, query.
+func Example() {
+	doc, err := xseq.ParseDocumentString(1, `
+		<Project>
+		  <Research><Location>newyork</Location></Research>
+		  <Development><Location>boston</Location></Development>
+		</Project>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := xseq.Build([]*xseq.Document{doc}, xseq.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, err := ix.Query("/Project[Research/Location='newyork']/Development[Location='boston']")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ids)
+	// Output: [1]
+}
+
+// Tree patterns are first-class: branching predicates require distinct
+// witnesses per branch, so the classic false alarm never appears.
+func ExampleIndex_Query() {
+	// Two Location siblings: one holds Staff, the other Budget.
+	doc, _ := xseq.ParseDocumentString(7, `
+		<Project>
+		  <Location><Staff>5</Staff></Location>
+		  <Location><Budget>9000</Budget></Location>
+		</Project>`)
+	ix, _ := xseq.Build([]*xseq.Document{doc}, xseq.Config{})
+
+	oneLocation, _ := ix.Query("/Project/Location[Staff][Budget]")
+	twoLocations, _ := ix.Query("/Project[Location/Staff][Location/Budget]")
+	fmt.Println(len(oneLocation), len(twoLocations))
+	// Output: 0 1
+}
+
+// QueryVerified restores exact value semantics under hash collisions.
+func ExampleIndex_QueryVerified() {
+	doc, _ := xseq.ParseDocumentString(1, `<rec><city>boston</city></rec>`)
+	ix, _ := xseq.Build([]*xseq.Document{doc}, xseq.Config{
+		ValueSpace:    4, // absurdly small: collisions guaranteed
+		KeepDocuments: true,
+	})
+	ids, _ := ix.QueryVerified("/rec/city[text='boston']")
+	fmt.Println(ids)
+	// Output: [1]
+}
+
+// Text-sequence values enable prefix queries.
+func ExampleConfig_textValues() {
+	var docs []*xseq.Document
+	for i, city := range []string{"boston", "bologna", "berlin"} {
+		d, _ := xseq.ParseDocumentString(int32(i), "<rec><city>"+city+"</city></rec>")
+		docs = append(docs, d)
+	}
+	ix, _ := xseq.Build(docs, xseq.Config{TextValues: true})
+	ids, _ := ix.Query("/rec/city[text='bo*']")
+	fmt.Println(ids)
+	// Output: [0 1]
+}
+
+// Indexes serialize to a single stream and reload query-ready.
+func ExampleLoad() {
+	doc, _ := xseq.ParseDocumentString(3, `<rec><year>1999</year></rec>`)
+	ix, _ := xseq.Build([]*xseq.Document{doc}, xseq.Config{})
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	back, err := xseq.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, _ := back.Query("/rec/year[text='1999']")
+	fmt.Println(ids)
+	// Output: [3]
+}
+
+// Dynamic indexes accept inserts after construction.
+func ExampleBuildDynamic() {
+	first, _ := xseq.ParseDocumentString(0, `<rec><tag>alpha</tag></rec>`)
+	dyn, err := xseq.BuildDynamic([]*xseq.Document{first}, xseq.Config{}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, _ := xseq.ParseDocumentString(1, `<rec><tag>alpha</tag></rec>`)
+	if err := dyn.Insert(second); err != nil {
+		log.Fatal(err)
+	}
+	ids, _ := dyn.Query("/rec/tag[text='alpha']")
+	fmt.Println(ids)
+	// Output: [0 1]
+}

@@ -1,0 +1,120 @@
+// Incremental: run the index as a long-lived service — start from a saved
+// snapshot (or cold), ingest records as they arrive through a dynamic
+// index, answer queries between inserts, compact, and persist a new
+// snapshot. Demonstrates Save/Load, BuildDynamic, QueryExplain and
+// FetchDocuments working together.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"xseq"
+	"xseq/internal/datagen"
+	"xseq/internal/xmltree"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "initial corpus size")
+	batch := flag.Int("batch", 500, "records per incremental batch")
+	batches := flag.Int("batches", 4, "number of incremental batches")
+	flag.Parse()
+
+	// Initial corpus: bibliography records.
+	_, raw, err := datagen.DBLP(datagen.DBLPOptions{Seed: 99}, *n+*batch**batches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	toDoc := func(d *xmltree.Document) *xseq.Document {
+		var buf bytes.Buffer
+		if err := xmltree.WriteXML(&buf, d.Root); err != nil {
+			log.Fatal(err)
+		}
+		doc, err := xseq.ParseDocumentString(d.ID, buf.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return doc
+	}
+	initial := make([]*xseq.Document, *n)
+	for i := 0; i < *n; i++ {
+		initial[i] = toDoc(raw[i])
+	}
+
+	dyn, err := xseq.BuildDynamic(initial, xseq.Config{}, 2**batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const workload = "//author[text='David']"
+	fmt.Printf("service started with %d records; workload: %s\n\n", *n, workload)
+
+	next := *n
+	for b := 1; b <= *batches; b++ {
+		start := time.Now()
+		for i := 0; i < *batch; i++ {
+			if err := dyn.Insert(toDoc(raw[next])); err != nil {
+				log.Fatal(err)
+			}
+			next++
+		}
+		ingest := time.Since(start)
+		start = time.Now()
+		ids, err := dyn.Query(workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d: +%d records in %v; query: %d hits in %v (pending %d)\n",
+			b, *batch, ingest.Round(time.Millisecond),
+			len(ids), time.Since(start).Round(time.Microsecond), dyn.PendingDocuments())
+	}
+
+	if err := dyn.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompacted: %d records total\n", dyn.NumDocuments())
+
+	// Persist a queryable snapshot built from everything ingested so far.
+	all := make([]*xseq.Document, next)
+	for i := 0; i < next; i++ {
+		all[i] = toDoc(raw[i])
+	}
+	snapshot, err := xseq.Build(all, xseq.Config{KeepDocuments: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot: %d bytes on the wire\n", buf.Len())
+
+	restored, err := xseq.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, ex, err := restored.QueryExplain(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored index answers %d hits (%d link probes, %d entries scanned)\n",
+		len(ids), ex.LinkProbes, ex.EntriesScanned)
+
+	docs, err := restored.FetchDocuments(ids[:min(3, len(ids))])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfirst matches:")
+	for _, d := range docs {
+		fmt.Printf("  doc %d: %s\n", d.ID(), d)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+// Quickstart: index a handful of XML records with the public API and run
+// tree-pattern queries against them — including the paper's Figure 4
+// false-alarm case, which naive subsequence matching gets wrong and
+// constraint matching gets right.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xseq"
+)
+
+func main() {
+	// Three project records in the shape of the paper's Figure 1.
+	sources := map[int32]string{
+		1: `<Project>
+		      <Research><Manager>tom</Manager><Location>newyork</Location></Research>
+		      <Development>
+		        <Manager>johnson</Manager>
+		        <Unit><Manager>mary</Manager><Name>GUI</Name></Unit>
+		        <Unit><Name>engine</Name></Unit>
+		        <Location>boston</Location>
+		      </Development>
+		    </Project>`,
+		2: `<Project>
+		      <Research><Location>boston</Location></Research>
+		    </Project>`,
+		// The Figure 4 shape: two Location siblings, one holding Staff,
+		// the other holding Budget.
+		3: `<Project>
+		      <Location><Staff>5</Staff></Location>
+		      <Location><Budget>9000</Budget></Location>
+		    </Project>`,
+	}
+	var docs []*xseq.Document
+	for id, src := range sources {
+		d, err := xseq.ParseDocumentString(id, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs = append(docs, d)
+	}
+
+	ix, err := xseq.Build(docs, xseq.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := ix.Stats()
+	fmt.Printf("indexed %d records into %d trie nodes / %d path links (~%d bytes)\n\n",
+		s.Documents, s.IndexNodes, s.Links, s.EstimatedDiskBytes)
+
+	run := func(q, comment string) {
+		ids, err := ix.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-58s -> %v   %s\n", q, ids, comment)
+	}
+
+	fmt.Println("— basic tree-pattern queries —")
+	run("/Project/Development/Location[text='boston']", "value test")
+	run("//Location[text='boston']", "anchored anywhere")
+	run("/Project[Research][Development]", "branching pattern")
+	run("/Project/*/Manager", "single-step wildcard")
+	run("//Unit/Name[text='engine']", "descendant step")
+
+	fmt.Println("\n— the Figure 4 false alarm —")
+	fmt.Println("record 3 has TWO Location siblings: one with Staff, one with Budget.")
+	run("/Project/Location[Staff][Budget]",
+		"one Location over both: NO match (constraint matching rejects the false alarm)")
+	run("/Project[Location/Staff][Location/Budget]",
+		"two separate Location branches: matches record 3")
+}

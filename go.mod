@@ -1,0 +1,3 @@
+module xseq
+
+go 1.22

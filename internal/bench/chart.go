@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ASCII chart rendering, so the figure experiments can be eyeballed the way
+// the paper presents them. A Table with a numeric first column (x) and one
+// or more numeric series columns renders as a fixed-size scatter of series
+// markers.
+
+// chartWidth and chartHeight size the plot area in character cells.
+const (
+	chartWidth  = 64
+	chartHeight = 16
+)
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the table's columns as an ASCII plot: column 0 is the
+// x-axis; cols selects the series to draw (nil: every numeric column after
+// the first). Non-numeric cells are skipped. Returns "" when nothing is
+// plottable.
+func (t *Table) Chart(cols []int) string {
+	if len(t.Rows) == 0 {
+		return ""
+	}
+	if cols == nil {
+		for c := 1; c < len(t.Header); c++ {
+			if _, ok := cellValue(t, 0, c); ok {
+				cols = append(cols, c)
+			}
+		}
+	}
+	type point struct {
+		x, y float64
+	}
+	series := make([][]point, len(cols))
+	var xMin, xMax, yMax float64
+	first := true
+	for r := range t.Rows {
+		x, ok := cellValue(t, r, 0)
+		if !ok {
+			continue
+		}
+		for si, c := range cols {
+			y, ok := cellValue(t, r, c)
+			if !ok {
+				continue
+			}
+			series[si] = append(series[si], point{x, y})
+			if first {
+				xMin, xMax, yMax = x, x, y
+				first = false
+			}
+			if x < xMin {
+				xMin = x
+			}
+			if x > xMax {
+				xMax = x
+			}
+			if y > yMax {
+				yMax = y
+			}
+		}
+	}
+	if first || yMax <= 0 {
+		return ""
+	}
+	grid := make([][]byte, chartHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", chartWidth))
+	}
+	span := xMax - xMin
+	// Later series draw first so earlier (usually primary) columns stay
+	// visible where points overlap.
+	for si := len(series) - 1; si >= 0; si-- {
+		pts := series[si]
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, p := range pts {
+			var cx int
+			if span > 0 {
+				cx = int((p.x - xMin) / span * float64(chartWidth-1))
+			}
+			cy := chartHeight - 1 - int(p.y/yMax*float64(chartHeight-1))
+			if cx >= 0 && cx < chartWidth && cy >= 0 && cy < chartHeight {
+				grid[cy][cx] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (y max %s)\n", t.Title, formatFloat(yMax))
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +")
+	b.WriteString(strings.Repeat("-", chartWidth))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "   x: %s .. %s", formatFloat(xMin), formatFloat(xMax))
+	b.WriteString("   series:")
+	for si, c := range cols {
+		if c < len(t.Header) {
+			fmt.Fprintf(&b, " %c=%s", seriesMarks[si%len(seriesMarks)], t.Header[c])
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// cellValue parses a numeric cell; durations ("1.49ms", "46µs", "2.52s")
+// convert to milliseconds.
+func cellValue(t *Table, row, col int) (float64, bool) {
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		return 0, false
+	}
+	s := strings.TrimSpace(t.Rows[row][col])
+	// Longest suffix first: "µs" and "ms" before plain "s".
+	suffixes := []struct {
+		suffix string
+		scale  float64
+	}{{"µs", 1e-3}, {"ms", 1}, {"s", 1e3}}
+	for _, sf := range suffixes {
+		if strings.HasSuffix(s, sf.suffix) {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(s, sf.suffix), 64)
+			if err != nil {
+				return 0, false
+			}
+			return v * sf.scale, true
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartFixture() *Table {
+	t := &Table{ID: "figX", Title: "demo", Header: []string{"x", "alpha", "beta", "label"}}
+	t.AddRow(0, 10, 1, "a")
+	t.AddRow(50, 20, 2, "b")
+	t.AddRow(100, 40, 4, "c")
+	return t
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	tb := chartFixture()
+	out := tb.Chart(nil)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	for _, want := range []string{"*=alpha", "o=beta", "x: 0 .. 100", "y max 40"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The non-numeric column is skipped automatically.
+	if strings.Contains(out, "label") {
+		t.Fatalf("non-numeric column plotted:\n%s", out)
+	}
+	// Explicit column selection plots only that series.
+	only := tb.Chart([]int{2})
+	if strings.Contains(only, "alpha") || !strings.Contains(only, "*=beta") {
+		t.Fatalf("column selection broken:\n%s", only)
+	}
+}
+
+func TestChartFirstSeriesVisible(t *testing.T) {
+	// Two identical series: the FIRST one's marker must win overlaps.
+	tb := &Table{Header: []string{"x", "a", "b"}}
+	tb.AddRow(0, 5, 5)
+	tb.AddRow(10, 9, 9)
+	out := tb.Chart(nil)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("first series hidden:\n%s", out)
+	}
+	if strings.Contains(strings.Split(out, "x:")[0], "o") {
+		t.Fatalf("overlapping second series should be covered:\n%s", out)
+	}
+}
+
+func TestChartDurationCells(t *testing.T) {
+	tb := &Table{Header: []string{"x", "time"}}
+	tb.AddRow(1, "500µs")
+	tb.AddRow(2, "1.50ms")
+	tb.AddRow(3, "2.00s")
+	out := tb.Chart(nil)
+	if !strings.Contains(out, "y max 2000") { // milliseconds
+		t.Fatalf("duration scaling wrong:\n%s", out)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	empty := &Table{Header: []string{"x", "y"}}
+	if empty.Chart(nil) != "" {
+		t.Fatal("empty table should not chart")
+	}
+	text := &Table{Header: []string{"x", "y"}}
+	text.AddRow("a", "b")
+	if text.Chart(nil) != "" {
+		t.Fatal("non-numeric table should not chart")
+	}
+	zero := &Table{Header: []string{"x", "y"}}
+	zero.AddRow(1, 0)
+	if zero.Chart(nil) != "" {
+		t.Fatal("all-zero y should not chart")
+	}
+	single := &Table{Header: []string{"x", "y"}}
+	single.AddRow(5, 7)
+	if single.Chart(nil) == "" {
+		t.Fatal("single point should chart")
+	}
+}
+
+func TestCellValueParsing(t *testing.T) {
+	tb := &Table{Header: []string{"a"}}
+	tb.AddRow("42")
+	tb.Rows = append(tb.Rows, []string{"1.5ms"}, []string{"2s"}, []string{"7µs"}, []string{"zzz"})
+	cases := []struct {
+		row  int
+		want float64
+		ok   bool
+	}{
+		{0, 42, true}, {1, 1.5, true}, {2, 2000, true}, {3, 0.007, true}, {4, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := cellValue(tb, c.row, 0)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Fatalf("row %d: got %v,%v want %v,%v", c.row, got, ok, c.want, c.ok)
+		}
+	}
+	if _, ok := cellValue(tb, 99, 0); ok {
+		t.Fatal("out of range cell parsed")
+	}
+}

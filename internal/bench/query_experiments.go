@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xseq/internal/datagen"
+	"xseq/internal/nodeindex"
+	"xseq/internal/pager"
+	"xseq/internal/pathenc"
+	"xseq/internal/pathindex"
+	"xseq/internal/query"
+	"xseq/internal/vist"
+)
+
+// Table7 reproduces Table 7: the three Table 4 queries against an
+// XMark-like corpus, reporting query length, result size, disk accesses
+// (cold buffer pool) and elapsed time.
+func Table7(cfg Config) ([]*Table, error) {
+	n := cfg.scaled(100_000, 2_000)
+	sch, docs, err := datagen.XMark(datagen.XMarkOptions{IdenticalSiblings: true, Seed: cfg.Seed}, n)
+	if err != nil {
+		return nil, err
+	}
+	ix, _, err := buildCSIndex(docs, sch)
+	if err != nil {
+		return nil, err
+	}
+	pool := pager.NewPool(cfg.PoolPages)
+	if _, err := ix.AttachPager(pool); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "table7",
+		Title: fmt.Sprintf("Query performance on XMark (%d records)", n),
+		Note:  "paper shape: every query in well under a second with tens of disk accesses",
+		Header: []string{
+			"query", "query length", "result size", "# disk accesses", "time",
+		},
+	}
+	queries := []struct {
+		name string
+		text string
+	}{
+		{"Q1", datagen.XMarkQ1},
+		{"Q2", datagen.XMarkQ2},
+		{"Q3", datagen.XMarkQ3},
+	}
+	for _, q := range queries {
+		pat, err := query.Parse(q.text)
+		if err != nil {
+			return nil, err
+		}
+		ix.DropPagerCache()
+		start := time.Now()
+		ids, err := ix.Query(pat)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		t.AddRow(q.name, pat.Size(), len(ids), ix.PagerStats().DiskAccesses(), elapsed)
+	}
+	ix.DetachPager()
+	return []*Table{t}, nil
+}
+
+// Table8 reproduces Table 8: the four DBLP queries against query-by-path
+// (DataGuide-like), query-by-node (XISS-like) and constraint sequencing.
+func Table8(cfg Config) ([]*Table, error) {
+	n := cfg.scaled(407_417, 5_000)
+	sch, docs, err := datagen.DBLP(datagen.DBLPOptions{Seed: cfg.Seed}, n)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := pathindex.Build(docs)
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := nodeindex.Build(docs)
+	if err != nil {
+		return nil, err
+	}
+	cs, _, err := buildCSIndex(docs, sch)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "table8",
+		Title: fmt.Sprintf("Query performance on DBLP (%d records)", n),
+		Note:  "paper shape: paths wins only on the simple path Q1; CS wins Q2-Q4; nodes slowest throughout",
+		Header: []string{
+			"query", "paths", "nodes", "CS", "results",
+		},
+	}
+	queries := []struct {
+		name string
+		text string
+	}{
+		{"Q1", datagen.DBLPQ1},
+		{"Q2", datagen.DBLPQ2},
+		{"Q3", datagen.DBLPQ3},
+		{"Q4", datagen.DBLPQ4},
+	}
+	for _, q := range queries {
+		pat, err := query.Parse(q.text)
+		if err != nil {
+			return nil, err
+		}
+		tPaths, nPaths := timeOne(func() (int, error) {
+			ids, err := paths.Query(pat)
+			return len(ids), err
+		})
+		tNodes, _ := timeOne(func() (int, error) {
+			ids, err := nodes.Query(pat)
+			return len(ids), err
+		})
+		tCS, _ := timeOne(func() (int, error) {
+			ids, err := cs.Query(pat)
+			return len(ids), err
+		})
+		t.AddRow(q.name, tPaths, tNodes, tCS, nPaths)
+	}
+	return []*Table{t}, nil
+}
+
+func timeOne(fn func() (int, error)) (time.Duration, int) {
+	start := time.Now()
+	n, err := fn()
+	if err != nil {
+		return 0, -1
+	}
+	return time.Since(start), n
+}
+
+// Figure16a reproduces Figure 16(a): constraint-sequencing query time as
+// the dataset grows (L3F5A25I10P40, query length 5).
+func Figure16a(cfg Config) ([]*Table, error) {
+	paperSizes := []int{50_000, 100_000, 200_000, 300_000, 400_000}
+	params := datagen.SynthParams{L: 3, F: 5, A: 25, I: 10, P: 40, Seed: cfg.Seed}
+	sizes := make([]int, len(paperSizes))
+	for i, s := range paperSizes {
+		sizes[i] = cfg.scaled(s, 200*(i+1))
+	}
+	sch, docs, err := datagen.Synth(params, sizes[len(sizes)-1])
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 16))
+	t := &Table{
+		ID:     "fig16a",
+		Title:  "CS query time vs dataset size (L3F5A25I10P40, query length 5)",
+		Note:   fmt.Sprintf("%d random queries per point; paper shape: sub-linear growth", cfg.queries()),
+		Header: []string{"records", "avg query time", "avg results"},
+	}
+	for _, n := range sizes {
+		sub := docs[:n]
+		ix, _, err := buildCSIndex(sub, sch)
+		if err != nil {
+			return nil, err
+		}
+		pats := randomQueries(rng, sub, 5, cfg.queries())
+		total, results, err := timeQueries(pats, ix.Query)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, perQuery(total, len(pats)), float64(results)/float64(len(pats)))
+	}
+	return []*Table{t}, nil
+}
+
+// Figure16b reproduces Figure 16(b): constraint sequencing vs ViST
+// (depth-first sequencing + joins + per-candidate verification) as the
+// query length grows, on one fixed corpus.
+func Figure16b(cfg Config) ([]*Table, error) {
+	n := cfg.scaled(1_000_000, 2_000)
+	params := datagen.SynthParams{L: 3, F: 5, A: 25, I: 10, P: 40, Seed: cfg.Seed}
+	sch, docs, err := datagen.Synth(params, n)
+	if err != nil {
+		return nil, err
+	}
+	ix, _, err := buildCSIndex(docs, sch)
+	if err != nil {
+		return nil, err
+	}
+	vist, err := vist.Build(docs, vistOptions())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	t := &Table{
+		ID:     "fig16b",
+		Title:  fmt.Sprintf("CS vs ViST query time vs query length (%d records)", n),
+		Note:   "paper shape: ViST above CS at every length, gap widening with length",
+		Header: []string{"query length", "ViST", "CS", "ViST/CS"},
+	}
+	for size := 2; size <= 12; size += 2 {
+		pats := randomQueries(rng, docs, size, cfg.queries())
+		if len(pats) == 0 {
+			continue
+		}
+		vTotal, _, err := timeQueries(pats, vist.Query)
+		if err != nil {
+			return nil, err
+		}
+		cTotal, _, err := timeQueries(pats, ix.Query)
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(vTotal) / float64(cTotal)
+		t.AddRow(size, perQuery(vTotal, len(pats)), perQuery(cTotal, len(pats)), ratio)
+	}
+	return []*Table{t}, nil
+}
+
+func vistOptions() vist.Options {
+	return vist.Options{Encoder: pathenc.NewEncoder(0)}
+}
+
+// Figure16c reproduces Figure 16(c): I/O cost (pages) and query time vs
+// query length on a fixed corpus without identical sibling nodes.
+func Figure16c(cfg Config) ([]*Table, error) {
+	return figure16IO(cfg, "fig16c", 0)
+}
+
+// Figure16d reproduces Figure 16(d): the same with identical sibling nodes
+// — the paper shows an order-of-magnitude I/O and time penalty.
+func Figure16d(cfg Config) ([]*Table, error) {
+	return figure16IO(cfg, "fig16d", 10)
+}
+
+func figure16IO(cfg Config, id string, identicalPct int) ([]*Table, error) {
+	n := cfg.scaled(100_000, 2_000)
+	params := datagen.SynthParams{L: 3, F: 5, A: 25, I: identicalPct, P: 40, Seed: cfg.Seed}
+	sch, docs, err := datagen.Synth(params, n)
+	if err != nil {
+		return nil, err
+	}
+	ix, _, err := buildCSIndex(docs, sch)
+	if err != nil {
+		return nil, err
+	}
+	pool := pager.NewPool(cfg.PoolPages)
+	if _, err := ix.AttachPager(pool); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 18))
+	kind := "no identical siblings"
+	if identicalPct > 0 {
+		kind = fmt.Sprintf("identical siblings I=%d%%", identicalPct)
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("I/O cost and query time vs query length (%d records, %s)", n, kind),
+		Note:   "paper shape: both curves grow with length; identical siblings cost roughly an order of magnitude more",
+		Header: []string{"query length", "avg pages", "avg query time"},
+	}
+	for size := 2; size <= 12; size += 2 {
+		pats := randomQueries(rng, docs, size, cfg.queries())
+		if len(pats) == 0 {
+			continue
+		}
+		var pages int64
+		start := time.Now()
+		for _, p := range pats {
+			ix.DropPagerCache()
+			if _, err := ix.Query(p); err != nil {
+				return nil, err
+			}
+			pages += ix.PagerStats().DiskAccesses()
+		}
+		elapsed := time.Since(start)
+		t.AddRow(size, float64(pages)/float64(len(pats)), perQuery(elapsed, len(pats)))
+	}
+	ix.DetachPager()
+	return []*Table{t}, nil
+}

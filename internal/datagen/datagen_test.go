@@ -1,0 +1,239 @@
+package datagen
+
+import (
+	"testing"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/query"
+	"xseq/internal/sequence"
+	"xseq/internal/xmltree"
+)
+
+func TestSynthNameRoundTrip(t *testing.T) {
+	p := SynthParams{L: 3, F: 5, A: 25, I: 0, P: 40}
+	if p.Name() != "L3F5A25I0P40" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	back, err := ParseSynthName("L3F5A25I0P40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != (SynthParams{L: 3, F: 5, A: 25, I: 0, P: 40}) {
+		t.Fatalf("parsed = %+v", back)
+	}
+	for _, bad := range []string{"", "L3F5", "L3F5A25I0P400", "X3F5A25I0P40"} {
+		if _, err := ParseSynthName(bad); err == nil {
+			t.Errorf("ParseSynthName(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSynthValidate(t *testing.T) {
+	bad := []SynthParams{
+		{L: 0, F: 5, A: 25, I: 0, P: 40},
+		{L: 3, F: 0, A: 25, I: 0, P: 40},
+		{L: 3, F: 5, A: 101, I: 0, P: 40},
+		{L: 3, F: 5, A: 25, I: -1, P: 40},
+		{L: 3, F: 5, A: 25, I: 0, P: 101},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	p := SynthParams{L: 3, F: 5, A: 25, I: 0, P: 40, Seed: 7}
+	_, docsA, err := Synth(p, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, docsB, err := Synth(p, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range docsA {
+		if !xmltree.Equal(docsA[i].Root, docsB[i].Root) {
+			t.Fatalf("doc %d differs across runs", i)
+		}
+	}
+}
+
+func TestSynthShape(t *testing.T) {
+	p := SynthParams{L: 3, F: 5, A: 25, I: 0, P: 40}
+	s, docs, err := Synth(p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasIdenticalSiblings() {
+		t.Fatal("I=0 schema should have no repeats")
+	}
+	// Documents respect the height bound: schema height L plus value
+	// leaves. The huge value space avoids hash collisions that would make
+	// two distinct values look like identical siblings.
+	enc := pathenc.NewEncoder(1 << 20)
+	for _, d := range docs {
+		if h := d.Root.Height(); h > p.L+1 {
+			t.Fatalf("doc height %d exceeds L+1=%d", h, p.L+1)
+		}
+		if sequence.HasIdenticalSiblings(d.Root, enc) {
+			t.Fatalf("I=0 doc has identical siblings: %v", d.Root)
+		}
+	}
+	// Average sequence length in the ballpark the paper reports (~25 for
+	// this family); the exact value depends on the random DTD.
+	avg := AvgSequenceLength(docs)
+	if avg < 5 || avg > 60 {
+		t.Fatalf("average sequence length %v implausible", avg)
+	}
+}
+
+func TestSynthIdenticalSiblings(t *testing.T) {
+	p := SynthParams{L: 3, F: 5, A: 25, I: 100, P: 40, Seed: 3}
+	s, docs, err := Synth(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasIdenticalSiblings() {
+		t.Fatal("I=100 schema should have repeats")
+	}
+	enc := pathenc.NewEncoder(0)
+	found := false
+	for _, d := range docs {
+		if sequence.HasIdenticalSiblings(d.Root, enc) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("I=100 corpus has no identical siblings at all")
+	}
+}
+
+func TestXMarkRecordMix(t *testing.T) {
+	_, docs, err := XMark(XMarkOptions{IdenticalSiblings: true, Seed: 1}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, d := range docs {
+		if d.Root.Name != "site" {
+			t.Fatalf("record root = %q", d.Root.Name)
+		}
+		if len(d.Root.Children) != 1 {
+			t.Fatalf("record has %d chains", len(d.Root.Children))
+		}
+		counts[d.Root.Children[0].Name]++
+	}
+	if counts["regions"] < 300 || counts["people"] < 200 ||
+		counts["open_auctions"] < 100 || counts["closed_auctions"] < 100 {
+		t.Fatalf("record mix off: %v", counts)
+	}
+}
+
+func TestXMarkIdenticalSiblingControl(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	_, with, err := XMark(XMarkOptions{IdenticalSiblings: true, Seed: 2}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRepeat := false
+	for _, d := range with {
+		if sequence.HasIdenticalSiblings(d.Root, enc) {
+			foundRepeat = true
+			break
+		}
+	}
+	if !foundRepeat {
+		t.Fatal("identical-sibling corpus has none")
+	}
+	_, without, err := XMark(XMarkOptions{IdenticalSiblings: false, Seed: 2}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range without {
+		if sequence.HasIdenticalSiblings(d.Root, enc) {
+			t.Fatalf("no-identical-sibling corpus violates the cap: %v", d.Root)
+		}
+	}
+}
+
+func TestXMarkQueriesAnswerable(t *testing.T) {
+	_, docs, err := XMark(XMarkOptions{IdenticalSiblings: true, Seed: 4, Persons: 200, Dates: 60}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three Table 4 queries parse and at least Q2 (broad age test)
+	// finds matches at this scale; Q1/Q3 carry highly selective constants
+	// and may legitimately be empty on a small corpus, but their paths
+	// must exist.
+	for _, q := range []string{XMarkQ1, XMarkQ2, XMarkQ3} {
+		if _, err := query.Parse(q); err != nil {
+			t.Fatalf("query %q does not parse: %v", q, err)
+		}
+	}
+	q2 := query.MustParse(XMarkQ2)
+	if got := query.Eval(docs, q2); len(got) == 0 {
+		t.Fatal("Q2 found nothing; age distribution is broken")
+	}
+	// Structural prerequisites of Q1/Q3.
+	if got := query.Eval(docs, query.MustParse("/site//item[location='United States']/mail/date")); len(got) == 0 {
+		t.Fatal("item/mail/date path missing from corpus")
+	}
+	if got := query.Eval(docs, query.MustParse("//closed_auction[seller/person]/date")); len(got) == 0 {
+		t.Fatal("closed_auction/seller/person path missing from corpus")
+	}
+}
+
+func TestDBLPRecordShape(t *testing.T) {
+	_, docs, err := DBLP(DBLPOptions{Seed: 5}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, d := range docs {
+		counts[d.Root.Name]++
+		if h := d.Root.Height(); h > 6 {
+			t.Fatalf("record height %d exceeds DBLP's max depth 6", h)
+		}
+	}
+	if counts["inproceedings"] < 800 || counts["article"] < 500 ||
+		counts["book"] < 50 || counts["phdthesis"] < 40 {
+		t.Fatalf("record mix off: %v", counts)
+	}
+	// The paper reports average constraint-sequence length ≈ 21; stay in
+	// that ballpark.
+	avg := AvgSequenceLength(docs)
+	if avg < 12 || avg > 30 {
+		t.Fatalf("average sequence length %v out of DBLP ballpark", avg)
+	}
+}
+
+func TestDBLPQueriesAnswerable(t *testing.T) {
+	_, docs, err := DBLP(DBLPOptions{Seed: 6, Authors: 100}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{DBLPQ1, DBLPQ2, DBLPQ3, DBLPQ4} {
+		pat, err := query.Parse(q)
+		if err != nil {
+			t.Fatalf("query %q does not parse: %v", q, err)
+		}
+		if got := query.Eval(docs, pat); len(got) == 0 {
+			t.Fatalf("query %q found nothing", q)
+		}
+	}
+	// Multi-author records exist (identical siblings).
+	enc := pathenc.NewEncoder(0)
+	found := false
+	for _, d := range docs {
+		if sequence.HasIdenticalSiblings(d.Root, enc) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no multi-author records generated")
+	}
+}

@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"fmt"
+
+	"xseq/internal/schema"
+	"xseq/internal/xmltree"
+)
+
+// DBLP-like corpus: bibliographic publication records matching the shape
+// the paper reports for its DBLP snapshot — ~21 nodes per record on
+// average, maximum depth 6 (root / field / value with a key attribute),
+// multi-author records giving identical sibling nodes, and Zipf-skewed
+// author and venue vocabularies. Table 8's queries run against it
+// verbatim, so the vocabularies always contain 'Maier' (a book key) and
+// 'David' (an author).
+
+// DBLPOptions configures the generator.
+type DBLPOptions struct {
+	// Seed drives document generation.
+	Seed int64
+	// Authors sizes the author vocabulary.
+	Authors int
+	// Venues sizes the journal/booktitle vocabulary.
+	Venues int
+	// Titles sizes the title vocabulary.
+	Titles int
+}
+
+func (o *DBLPOptions) defaults() {
+	if o.Authors <= 0 {
+		o.Authors = 3000
+	}
+	if o.Venues <= 0 {
+		o.Venues = 300
+	}
+	if o.Titles <= 0 {
+		o.Titles = 20000
+	}
+}
+
+// The Table 8 queries, verbatim (Q2 includes the paper's own typos).
+const (
+	DBLPQ1 = "/inproceedings/title"
+	DBLPQ2 = "/book/[key='Maier]/author"
+	DBLPQ3 = "/*/author[text='David']"
+	DBLPQ4 = "//author[text='David']"
+)
+
+// DBLPSchema builds the record-type forest: inproceedings 50%, article
+// 38%, book 7%, phdthesis 5%.
+func DBLPSchema(o DBLPOptions) (*schema.Schema, error) {
+	o.defaults()
+	authors := append([]string{"David"}, makeNumbers("author", o.Authors-1)...)
+	venues := makeNumbers("venue", o.Venues)
+	titles := makeNumbers("title", o.Titles)
+	years := make([]string, 36)
+	for i := range years {
+		years[i] = fmt.Sprintf("%d", 1970+i)
+	}
+	pages := makeNumbers("p", 500)
+	keys := makeNumbers("key", 5000)
+	bookKeys := append([]string{"Maier"}, makeNumbers("bkey", 499)...)
+
+	val := func(p float64, values []string, zipf float64) *schema.Node {
+		return &schema.Node{IsValue: true, PCond: p, Values: values, ZipfS: zipf}
+	}
+	elem := func(name string, p float64, children ...*schema.Node) *schema.Node {
+		return &schema.Node{Name: name, PCond: p, Children: children}
+	}
+	author := func() *schema.Node {
+		a := elem("author", 0.95, val(1, authors, 1.6))
+		a.MinRepeat, a.MaxRepeat = 1, 3
+		return a
+	}
+
+	inproceedings := elem("inproceedings", 1,
+		elem("key", 1, val(1, keys, 0)),
+		author(),
+		elem("title", 1, val(1, titles, 0)),
+		elem("pages", 0.9, val(1, pages, 0)),
+		elem("year", 1, val(1, years, 1.4)),
+		elem("booktitle", 1, val(1, venues, 1.6)),
+		elem("ee", 0.5, val(1, makeNumbers("http://doi", 3000), 0)),
+	)
+	article := elem("article", 1,
+		elem("key", 1, val(1, keys, 0)),
+		author(),
+		elem("title", 1, val(1, titles, 0)),
+		elem("pages", 0.9, val(1, pages, 0)),
+		elem("year", 1, val(1, years, 1.4)),
+		elem("volume", 0.8, val(1, makeNumbers("", 60), 0)),
+		elem("journal", 1, val(1, venues, 1.6)),
+	)
+	book := elem("book", 1,
+		elem("key", 1, val(1, bookKeys, 1.4)),
+		author(),
+		elem("title", 1, val(1, titles, 0)),
+		elem("publisher", 1, val(1, makeNumbers("publisher", 50), 1.5)),
+		elem("year", 1, val(1, years, 1.4)),
+		elem("isbn", 0.8, val(1, makeNumbers("isbn", 2000), 0)),
+	)
+	phdthesis := elem("phdthesis", 1,
+		elem("key", 1, val(1, keys, 0)),
+		elem("author", 1, val(1, authors, 1.6)),
+		elem("title", 1, val(1, titles, 0)),
+		elem("year", 1, val(1, years, 1.4)),
+		elem("school", 1, val(1, makeNumbers("school", 120), 1.5)),
+	)
+	return schema.NewForest(
+		[]*schema.Node{inproceedings, article, book, phdthesis},
+		[]float64{0.50, 0.38, 0.07, 0.05},
+	)
+}
+
+// DBLP generates n DBLP-like records plus their schema.
+func DBLP(o DBLPOptions, n int) (*schema.Schema, []*xmltree.Document, error) {
+	o.defaults()
+	s, err := DBLPSchema(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, GenerateDocs(s, n, o.Seed, 0), nil
+}

@@ -1,0 +1,183 @@
+// Package datagen generates the three corpora of the paper's evaluation
+// (Section 6.1):
+//
+//   - synthetic tree structures from a random DTD parameterized by
+//     L (max height), F (max fanout), A (% value child nodes),
+//     I (% identical sibling nodes) and P (minimum occurrence probability),
+//     named like the paper's "L3F5A25I0P40";
+//   - an XMark-like auction corpus of item / person / open_auction /
+//     closed_auction substructure records, with and without identical
+//     siblings (Tables 5-7);
+//   - a DBLP-like bibliography corpus of publication records (Table 8).
+//
+// Real DBLP and xmlgen output are unavailable offline; the generators
+// reproduce the record shapes, depths, sibling structure, vocabulary skew
+// and average sequence lengths the paper reports, which are the properties
+// the experiments depend on (see DESIGN.md's substitution table).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strconv"
+
+	"xseq/internal/schema"
+	"xseq/internal/xmltree"
+)
+
+// SynthParams are the synthetic-DTD parameters of Section 6.1.
+type SynthParams struct {
+	L int // maximum tree height
+	F int // maximum fanout of a node
+	A int // percentage of value child nodes
+	I int // percentage of identical sibling nodes
+	P int // minimum occurrence probability (percent)
+	// Seed makes schema generation deterministic (0 is a valid seed).
+	Seed int64
+}
+
+// Name renders the paper's dataset naming, e.g. "L3F5A25I0P40".
+func (p SynthParams) Name() string {
+	return fmt.Sprintf("L%dF%dA%dI%dP%d", p.L, p.F, p.A, p.I, p.P)
+}
+
+var synthNameRE = regexp.MustCompile(`^L(\d+)F(\d+)A(\d+)I(\d+)P(\d+)$`)
+
+// ParseSynthName parses a dataset name like "L3F5A25I0P40".
+func ParseSynthName(name string) (SynthParams, error) {
+	m := synthNameRE.FindStringSubmatch(name)
+	if m == nil {
+		return SynthParams{}, fmt.Errorf("datagen: invalid dataset name %q", name)
+	}
+	atoi := func(s string) int { v, _ := strconv.Atoi(s); return v }
+	p := SynthParams{L: atoi(m[1]), F: atoi(m[2]), A: atoi(m[3]), I: atoi(m[4]), P: atoi(m[5])}
+	return p, p.Validate()
+}
+
+// Validate checks parameter sanity.
+func (p SynthParams) Validate() error {
+	switch {
+	case p.L < 1:
+		return fmt.Errorf("datagen: L must be >= 1, got %d", p.L)
+	case p.F < 1:
+		return fmt.Errorf("datagen: F must be >= 1, got %d", p.F)
+	case p.A < 0 || p.A > 100:
+		return fmt.Errorf("datagen: A must be in [0,100], got %d", p.A)
+	case p.I < 0 || p.I > 100:
+		return fmt.Errorf("datagen: I must be in [0,100], got %d", p.I)
+	case p.P < 0 || p.P > 100:
+		return fmt.Errorf("datagen: P must be in [0,100], got %d", p.P)
+	}
+	return nil
+}
+
+// SynthSchema generates the random DTD: a schema tree of height L where
+// every element node has up to F children, a child is a value slot with
+// probability A%, an element child is repeat-capable (identical siblings)
+// with probability I%, and occurrence probabilities are uniform in
+// [P%, 1.0] (Section 6.1's three-step generation).
+func SynthSchema(p SynthParams) (*schema.Schema, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed))
+	counter := 0
+	nextName := func() string {
+		counter++
+		return fmt.Sprintf("e%d", counter)
+	}
+	// Each value slot draws from its own vocabulary (the slot Name
+	// prefixes the value text), so two slots under one parent can never
+	// produce identical sibling values — identical siblings are controlled
+	// exclusively by I.
+	vcounter := 0
+	valueSlot := func(p float64) *schema.Node {
+		vcounter++
+		return &schema.Node{
+			Name: fmt.Sprintf("v%d", vcounter), IsValue: true,
+			PCond: p, ValueRange: 100, ZipfS: 1.4,
+		}
+	}
+	prob := func() float64 {
+		lo := float64(p.P) / 100
+		return lo + rng.Float64()*(1-lo)
+	}
+	var build func(level int) *schema.Node
+	build = func(level int) *schema.Node {
+		n := &schema.Node{Name: nextName(), PCond: prob()}
+		if level >= p.L {
+			// Leaf elements always carry values so documents bottom out in
+			// data rather than empty tags; higher value density A means
+			// more slots per leaf. Values are Zipf-skewed, as real
+			// attribute values are.
+			for i := 0; i < 1+p.A/40; i++ {
+				n.Children = append(n.Children, valueSlot(1))
+			}
+			return n
+		}
+		// Fanout concentrates near F (the paper reports average sequence
+		// lengths of ~25 for L3F5 and ~32 for L5F3, which requires schemas
+		// close to their fanout bound).
+		fan := p.F
+		if p.F > 3 && rng.Intn(3) == 0 {
+			fan = p.F - 1
+		}
+		for i := 0; i < fan; i++ {
+			c := build(level + 1)
+			if rng.Intn(100) < p.I {
+				c.MinRepeat = 2
+				c.MaxRepeat = 3
+			}
+			n.Children = append(n.Children, c)
+		}
+		// A% of child nodes are value nodes: value slots come in addition
+		// to the element fanout, keeping deep low-P schemas (the paper's
+		// L5F3A40I0P5, average sequence length ≈ 32) from collapsing.
+		nvals := fan
+		if p.A < 100 {
+			nvals = fan * p.A / (100 - p.A)
+		}
+		for i := 0; i < nvals; i++ {
+			n.Children = append(n.Children, valueSlot(prob()))
+		}
+		return n
+	}
+	root := build(1)
+	root.PCond = 1
+	return schema.New(root)
+}
+
+// GenerateDocs instantiates n documents from a schema with ids
+// startID..startID+n-1.
+func GenerateDocs(s *schema.Schema, n int, seed int64, startID int32) []*xmltree.Document {
+	rng := rand.New(rand.NewSource(seed ^ 0xd0c5))
+	out := make([]*xmltree.Document, n)
+	for i := range out {
+		out[i] = &xmltree.Document{ID: startID + int32(i), Root: s.Generate(rng)}
+	}
+	return out
+}
+
+// Synth generates n documents of the named synthetic dataset along with its
+// schema.
+func Synth(p SynthParams, n int) (*schema.Schema, []*xmltree.Document, error) {
+	s, err := SynthSchema(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, GenerateDocs(s, n, p.Seed, 0), nil
+}
+
+// AvgSequenceLength reports the mean node count per document (each node is
+// one sequence element).
+func AvgSequenceLength(docs []*xmltree.Document) float64 {
+	if len(docs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, d := range docs {
+		total += d.Root.Size()
+	}
+	return float64(total) / float64(len(docs))
+}

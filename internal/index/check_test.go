@@ -1,0 +1,93 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"xseq/internal/xmltree"
+)
+
+func TestCheckInvariantsHealthy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var docs []*xmltree.Document
+	for i := 0; i < 50; i++ {
+		docs = append(docs, &xmltree.Document{ID: int32(i), Root: randomTree(rng, 4, 3)})
+	}
+	ix := buildCS(t, docs, Options{})
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatalf("healthy index failed check: %v", err)
+	}
+	// A loaded index passes too.
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CheckInvariants(); err != nil {
+		t.Fatalf("loaded index failed check: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	build := func() *Index {
+		return buildCS(t, []*xmltree.Document{
+			{ID: 0, Root: xmltree.Figure1()},
+			{ID: 1, Root: xmltree.Figure4D()},
+		}, Options{})
+	}
+	corruptions := []struct {
+		name string
+		mut  func(ix *Index)
+	}{
+		{"inverted interval", func(ix *Index) {
+			for p, link := range ix.links {
+				link[0].max = link[0].pre - 1
+				ix.links[p] = link
+				return
+			}
+		}},
+		{"unsorted link", func(ix *Index) {
+			for p, link := range ix.links {
+				if len(link) >= 2 {
+					link[0].pre = link[1].pre
+					ix.links[p] = link
+					return
+				}
+			}
+		}},
+		{"forward anc", func(ix *Index) {
+			for p, link := range ix.links {
+				link[0].anc = int32(len(link))
+				ix.links[p] = link
+				return
+			}
+		}},
+		{"end offsets broken", func(ix *Index) {
+			if len(ix.ends.offs) > 0 {
+				ix.ends.offs[0] = 7
+			}
+		}},
+		{"doc id out of range", func(ix *Index) {
+			if len(ix.ends.ids) > 0 {
+				ix.ends.ids[0] = ix.maxDocID + 5
+			}
+		}},
+		{"serial out of range", func(ix *Index) {
+			ix.maxSerial = 1
+		}},
+	}
+	for _, c := range corruptions {
+		ix := build()
+		if err := ix.CheckInvariants(); err != nil {
+			t.Fatalf("%s: pre-corruption check failed: %v", c.name, err)
+		}
+		c.mut(ix)
+		if err := ix.CheckInvariants(); err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+		}
+	}
+}

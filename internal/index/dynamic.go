@@ -1,0 +1,180 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xseq/internal/query"
+	"xseq/internal/xmltree"
+)
+
+// Dynamic makes the (immutable, frozen) index updatable, the way the paper
+// frames ViST as "a dynamic index method": new documents accumulate in a
+// delta buffer; queries run against the frozen main index plus a small
+// index built lazily over the delta; Compact folds everything into a fresh
+// main index. Each sub-index carries its own sequencing state (schema
+// statistics and repeat set are per-build), so query equivalence holds on
+// both sides independently.
+//
+// Dynamic is safe for concurrent use; Insert and Query may interleave.
+type Dynamic struct {
+	build Builder
+
+	mu        sync.RWMutex
+	main      *Index
+	mainDocs  []*xmltree.Document
+	buffer    []*xmltree.Document
+	delta     *Index // nil when dirty or buffer empty
+	seen      map[int32]bool
+	threshold int
+}
+
+// Builder constructs an index over a corpus; Dynamic calls it for the
+// initial corpus, for delta rebuilds, and for compactions. The returned
+// index must answer queries (prioritized strategy).
+type Builder func(docs []*xmltree.Document) (*Index, error)
+
+// DefaultCompactThreshold is the delta size that triggers automatic
+// compaction (relative to nothing — an absolute document count; deltas stay
+// small so their rebuild cost stays negligible).
+const DefaultCompactThreshold = 1024
+
+// NewDynamic builds a dynamic index over an initial corpus (which may be
+// empty). threshold <= 0 uses DefaultCompactThreshold.
+func NewDynamic(build Builder, initial []*xmltree.Document, threshold int) (*Dynamic, error) {
+	if build == nil {
+		return nil, fmt.Errorf("index: NewDynamic requires a Builder")
+	}
+	if threshold <= 0 {
+		threshold = DefaultCompactThreshold
+	}
+	d := &Dynamic{build: build, seen: map[int32]bool{}, threshold: threshold}
+	for _, doc := range initial {
+		if doc == nil {
+			return nil, fmt.Errorf("index: nil initial document")
+		}
+		if d.seen[doc.ID] {
+			return nil, fmt.Errorf("index: duplicate document id %d", doc.ID)
+		}
+		d.seen[doc.ID] = true
+	}
+	if len(initial) > 0 {
+		main, err := build(initial)
+		if err != nil {
+			return nil, err
+		}
+		d.main = main
+		d.mainDocs = append(d.mainDocs, initial...)
+	}
+	return d, nil
+}
+
+// Insert adds one document. The delta index is invalidated and rebuilt on
+// the next query; when the delta exceeds the compaction threshold the whole
+// index is rebuilt inline.
+func (d *Dynamic) Insert(doc *xmltree.Document) error {
+	if doc == nil || doc.Root == nil {
+		return fmt.Errorf("index: nil document")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seen[doc.ID] {
+		return fmt.Errorf("index: duplicate document id %d", doc.ID)
+	}
+	d.seen[doc.ID] = true
+	d.buffer = append(d.buffer, doc)
+	d.delta = nil
+	if len(d.buffer) >= d.threshold {
+		return d.compactLocked()
+	}
+	return nil
+}
+
+// Query answers a pattern over main + delta, ids ascending.
+func (d *Dynamic) Query(pat *query.Pattern) ([]int32, error) {
+	d.mu.Lock()
+	if d.delta == nil && len(d.buffer) > 0 {
+		delta, err := d.build(d.buffer)
+		if err != nil {
+			d.mu.Unlock()
+			return nil, err
+		}
+		d.delta = delta
+	}
+	main, delta := d.main, d.delta
+	d.mu.Unlock()
+
+	var out []int32
+	if main != nil {
+		ids, err := main.Query(pat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ids...)
+	}
+	if delta != nil {
+		ids, err := delta.Query(pat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Compact folds the delta into a fresh main index.
+func (d *Dynamic) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactLocked()
+}
+
+func (d *Dynamic) compactLocked() error {
+	if len(d.buffer) == 0 {
+		return nil
+	}
+	all := append(append([]*xmltree.Document{}, d.mainDocs...), d.buffer...)
+	main, err := d.build(all)
+	if err != nil {
+		return err
+	}
+	d.main = main
+	d.mainDocs = all
+	d.buffer = nil
+	d.delta = nil
+	return nil
+}
+
+// NumDocuments reports the total corpus size (main + buffered).
+func (d *Dynamic) NumDocuments() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.mainDocs) + len(d.buffer)
+}
+
+// PendingDocuments reports how many documents await compaction.
+func (d *Dynamic) PendingDocuments() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.buffer)
+}
+
+// NumNodes reports the main index's trie node count (0 before the first
+// build); the delta's nodes are transient.
+func (d *Dynamic) NumNodes() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.main == nil {
+		return 0
+	}
+	return d.main.NumNodes()
+}
+
+// Main exposes the current frozen main index (nil before the first build).
+func (d *Dynamic) Main() *Index {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.main
+}

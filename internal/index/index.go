@@ -1,0 +1,447 @@
+// Package index implements the paper's index structure (Section 4.1) and its
+// constraint subsequence matching (Section 4.2, Algorithm 1):
+//
+//   - Sequence Insertion: each document's constraint sequence goes into a
+//     trie; document ids accumulate at end nodes.
+//   - Tree Labeling: trie nodes get (n⊢, n⊣) interval labels.
+//   - Path Linking: one horizontal link per distinct path, holding the
+//     labels of all trie nodes with that path encoding, in ascending n⊢
+//     order, binary searchable (Figures 8/9).
+//
+// Queries are tree patterns; wildcards are instantiated against the path
+// table, instances are sequenced with the same strategy priority as the
+// data, identical-path sibling groups are enumerated (the false-dismissal
+// remedy), and Algorithm 1 walks the links range-by-range. The
+// sibling-cover test (Definition 4 / Theorem 3) rejects candidates whose
+// constraint relations would break, eliminating false alarms with no joins
+// and no per-document post-processing.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/query"
+	"xseq/internal/sequence"
+	"xseq/internal/trie"
+	"xseq/internal/xmltree"
+)
+
+// Options configures Build.
+type Options struct {
+	// Encoder interns designators and paths; required, and must be the
+	// encoder the Strategy was built with.
+	Encoder *pathenc.Encoder
+	// Strategy sequences documents. For querying it must also implement
+	// sequence.Prioritizer (the probability strategy g_best does); index
+	// building alone works with any strategy.
+	Strategy sequence.Strategy
+	// BulkLoad sorts sequences before insertion (static data path).
+	BulkLoad bool
+	// InstantiationLimit caps wildcard expansion per pattern
+	// (<= 0: query.DefaultInstantiationLimit).
+	InstantiationLimit int
+	// OrderEnumerationLimit caps identical-sibling order enumeration per
+	// instance (<= 0: DefaultOrderEnumerationLimit).
+	OrderEnumerationLimit int
+	// KeepDocuments retains the corpus for the verified query modes and
+	// baselines that post-process candidates.
+	KeepDocuments bool
+}
+
+// DefaultOrderEnumerationLimit caps the number of identical-sibling
+// orderings tried per query instance.
+const DefaultOrderEnumerationLimit = 64
+
+// linkEntry is one element of a path link: an interval label plus the
+// sibling-cover metadata. anc is the index (within the same link) of the
+// entry's nearest same-path strict ancestor in the trie, or -1. embeds
+// reports whether a later entry of the link names this entry as its anc —
+// i.e. whether this trie node "embeds identical siblings" in the sense of
+// Algorithm 1.
+type linkEntry struct {
+	pre, max int32
+	anc      int32
+	embeds   bool
+}
+
+// endList flattens doc-id lists: ends[i] holds the pre label of an end node
+// and the [off, off+n) slice of docIDs.
+type endList struct {
+	pres []int32
+	offs []int32
+	lens []int32
+	ids  []int32
+}
+
+// Index is a built, immutable sequence index over a corpus.
+type Index struct {
+	enc       *pathenc.Encoder
+	strategy  sequence.Strategy
+	prio      sequence.Prioritizer // nil if strategy has no priority
+	tr        *trie.Trie
+	links     map[pathenc.PathID][]linkEntry
+	ends      endList
+	ci        *pathenc.ChildIndex
+	opts      Options
+	numDocs   int
+	maxDocID  int32
+	maxSerial int32
+	docs      []*xmltree.Document // only when KeepDocuments
+
+	pg *pagedLayout // nil unless AttachPager was called
+}
+
+// Build sequences and indexes the corpus. Document IDs must be unique and
+// non-negative.
+func Build(docs []*xmltree.Document, opts Options) (*Index, error) {
+	if opts.Encoder == nil {
+		return nil, fmt.Errorf("index: Options.Encoder is required")
+	}
+	if opts.Strategy == nil {
+		return nil, fmt.Errorf("index: Options.Strategy is required")
+	}
+	ix := &Index{
+		enc:      opts.Encoder,
+		strategy: opts.Strategy,
+		tr:       trie.New(),
+		opts:     opts,
+	}
+	if p, ok := opts.Strategy.(sequence.Prioritizer); ok {
+		ix.prio = p
+	}
+	// Pre-scan: install the corpus repeat set so data and query sequencing
+	// block the same paths (see sequence.RepeatAware).
+	if ra, ok := opts.Strategy.(sequence.RepeatAware); ok {
+		roots := make([]*xmltree.Node, len(docs))
+		for i, d := range docs {
+			roots[i] = d.Root
+		}
+		ra.SetRepeatPaths(sequence.RepeatPaths(roots, opts.Encoder))
+	}
+	seen := map[int32]bool{}
+	seqs := make([]sequence.Sequence, 0, len(docs))
+	ids := make([]int32, 0, len(docs))
+	for _, d := range docs {
+		if d.ID < 0 {
+			return nil, fmt.Errorf("index: negative document id %d", d.ID)
+		}
+		if seen[d.ID] {
+			return nil, fmt.Errorf("index: duplicate document id %d", d.ID)
+		}
+		seen[d.ID] = true
+		if d.ID > ix.maxDocID {
+			ix.maxDocID = d.ID
+		}
+		s := opts.Strategy.Sequence(d.Root)
+		if opts.BulkLoad {
+			seqs = append(seqs, s)
+			ids = append(ids, d.ID)
+		} else {
+			ix.tr.Insert(s, d.ID)
+		}
+	}
+	if opts.BulkLoad {
+		if err := ix.tr.BulkLoad(seqs, ids); err != nil {
+			return nil, err
+		}
+	}
+	ix.numDocs = len(docs)
+	if opts.KeepDocuments {
+		ix.docs = docs
+	}
+	ix.freeze()
+	return ix, nil
+}
+
+// freeze labels the trie and builds the path links and the flattened doc-id
+// lists.
+func (ix *Index) freeze() {
+	ix.tr.Freeze()
+	ix.links = make(map[pathenc.PathID][]linkEntry)
+	// One pre-order pass; per-path stacks of open link-entry indices give
+	// each entry its nearest same-path ancestor. The walk is pre-order, so
+	// link entries are appended in ascending pre order automatically.
+	type open struct {
+		entry int32 // index within the link
+		max   int32 // subtree end, for popping
+	}
+	stacks := map[pathenc.PathID][]open{}
+	ix.tr.WalkPreOrder(func(n trie.NodeID, _ int) bool {
+		p := ix.tr.Path(n)
+		pre, max := ix.tr.Pre(n), ix.tr.Max(n)
+		st := stacks[p]
+		// Pop entries whose subtree has ended.
+		for len(st) > 0 && st[len(st)-1].max < pre {
+			st = st[:len(st)-1]
+		}
+		link := ix.links[p]
+		e := linkEntry{pre: pre, max: max, anc: -1}
+		if len(st) > 0 {
+			e.anc = st[len(st)-1].entry
+			link[e.anc].embeds = true
+		}
+		idx := int32(len(link))
+		ix.links[p] = append(link, e)
+		stacks[p] = append(st, open{entry: idx, max: max})
+		return true
+	})
+	// Flatten doc-id lists sorted by pre.
+	type endNode struct {
+		pre int32
+		ids []int32
+	}
+	var ends []endNode
+	total := 0
+	ix.tr.WalkPreOrder(func(n trie.NodeID, _ int) bool {
+		if ids := ix.tr.Docs(n); len(ids) > 0 {
+			ends = append(ends, endNode{ix.tr.Pre(n), ids})
+			total += len(ids)
+		}
+		return true
+	})
+	sort.Slice(ends, func(i, j int) bool { return ends[i].pre < ends[j].pre })
+	ix.ends.pres = make([]int32, len(ends))
+	ix.ends.offs = make([]int32, len(ends))
+	ix.ends.lens = make([]int32, len(ends))
+	ix.ends.ids = make([]int32, 0, total)
+	for i, e := range ends {
+		ix.ends.pres[i] = e.pre
+		ix.ends.offs[i] = int32(len(ix.ends.ids))
+		ix.ends.lens[i] = int32(len(e.ids))
+		ix.ends.ids = append(ix.ends.ids, e.ids...)
+	}
+	ix.ci = ix.enc.BuildChildIndex()
+	ix.maxSerial = int32(ix.tr.NumNodes())
+}
+
+// Encoder returns the index's designator/path table.
+func (ix *Index) Encoder() *pathenc.Encoder { return ix.enc }
+
+// Strategy returns the sequencing strategy the index was built with.
+func (ix *Index) Strategy() sequence.Strategy { return ix.strategy }
+
+// NumDocuments reports the corpus size.
+func (ix *Index) NumDocuments() int { return ix.numDocs }
+
+// NumNodes reports the trie node count — the index-size metric of
+// Figures 14/15 and Tables 5/6.
+func (ix *Index) NumNodes() int { return int(ix.maxSerial) }
+
+// NumLinks reports the number of distinct paths (horizontal links).
+func (ix *Index) NumLinks() int { return len(ix.links) }
+
+// LinkLength reports the number of labels in the link of path p.
+func (ix *Index) LinkLength(p pathenc.PathID) int { return len(ix.links[p]) }
+
+// EstimatedDiskBytes applies the paper's sizing formula for the final
+// disk-based index: 4n + cN bytes with n the number of indexed records, N
+// the trie node count, and c ≈ 8 (Section 6.2).
+func (ix *Index) EstimatedDiskBytes() int64 {
+	const c = 8
+	return 4*int64(ix.numDocs) + c*int64(ix.NumNodes())
+}
+
+// Documents returns the retained corpus (nil unless KeepDocuments).
+func (ix *Index) Documents() []*xmltree.Document { return ix.docs }
+
+// Trie exposes the underlying trie for tests and size accounting. Indexes
+// reconstructed by Load carry no trie (queries run off the links alone);
+// the result is then nil.
+func (ix *Index) Trie() *trie.Trie { return ix.tr }
+
+// ChildIdx exposes the frozen path-table snapshot for query instantiation.
+func (ix *Index) ChildIdx() *pathenc.ChildIndex { return ix.ci }
+
+// MaxSerial returns the largest pre-order serial (the root's n⊣).
+func (ix *Index) MaxSerial() int32 { return ix.maxSerial }
+
+// LinkEntries returns the (pre, max) interval labels of path p's link in
+// ascending pre order. Baseline engines (ViST-style branch matching) build
+// on this; the slice must not be modified.
+func (ix *Index) LinkEntries(p pathenc.PathID) []Interval {
+	link := ix.links[p]
+	out := make([]Interval, len(link))
+	for i, e := range link {
+		ix.touchLinkSlot(p, i)
+		out[i] = Interval{Pre: e.pre, Max: e.max}
+	}
+	return out
+}
+
+// LinkEntriesInRange returns the link entries of p with pre ∈ [lo, hi],
+// binary searching the link (charging page touches when paged).
+func (ix *Index) LinkEntriesInRange(p pathenc.PathID, lo, hi int32) []Interval {
+	link := ix.links[p]
+	start := ix.searchLink(p, link, lo, nil)
+	var out []Interval
+	for idx := start; idx < len(link) && link[idx].pre <= hi; idx++ {
+		ix.touchLinkSlot(p, idx)
+		out = append(out, Interval{Pre: link[idx].pre, Max: link[idx].max})
+	}
+	return out
+}
+
+// DocsInPreRange returns (appending to out) the ids of documents whose
+// sequences end at a node with pre ∈ [lo, hi].
+func (ix *Index) DocsInPreRange(lo, hi int32, out []int32) []int32 {
+	return ix.collectDocs(lo, hi, out)
+}
+
+// Interval is a trie node's (n⊢, n⊣) label pair.
+type Interval struct {
+	Pre, Max int32
+}
+
+// collectDocs appends the document ids of all end nodes with pre ∈ [lo,hi]
+// — "output the document id lists of node v and all nodes under v".
+func (ix *Index) collectDocs(lo, hi int32, out []int32) []int32 {
+	i := sort.Search(len(ix.ends.pres), func(k int) bool { return ix.ends.pres[k] >= lo })
+	for ; i < len(ix.ends.pres) && ix.ends.pres[i] <= hi; i++ {
+		off, n := ix.ends.offs[i], ix.ends.lens[i]
+		ix.touchDocRange(off, n)
+		out = append(out, ix.ends.ids[off:off+n]...)
+	}
+	return out
+}
+
+// QueryOptions tweaks one query execution.
+type QueryOptions struct {
+	// Naive disables the sibling-cover constraint test, performing the
+	// naive subsequence matching of Section 4.2 — may return false alarms.
+	Naive bool
+	// Verify post-checks every candidate against the stored documents with
+	// the ground-truth matcher (requires KeepDocuments). With Verify the
+	// result is exact even under value-hash collisions.
+	Verify bool
+	// MaxResults stops the search once this many distinct documents have
+	// been found (0: unlimited). With Verify, candidates are capped before
+	// verification, so fewer than MaxResults may survive.
+	MaxResults int
+	// Stats, when non-nil, accumulates the work the query performed.
+	Stats *QueryStats
+}
+
+// QueryStats reports the work one query performed — the observable
+// counterpart of Algorithm 1's steps.
+type QueryStats struct {
+	// Instances is the number of concrete instantiations of the pattern
+	// (wildcard/descendant expansion).
+	Instances int
+	// Orders is the number of query sequences tried (identical-sibling
+	// order enumeration across all instances).
+	Orders int
+	// LinkProbes counts binary-search probes into path links.
+	LinkProbes int64
+	// EntriesScanned counts link entries visited as match candidates.
+	EntriesScanned int64
+	// CoverChecks counts sibling-cover constraint evaluations.
+	CoverChecks int64
+	// CoverRejections counts candidates rejected by the constraint — each
+	// one a false alarm naive matching would have pursued.
+	CoverRejections int64
+	// Results is the number of distinct documents returned (before
+	// verification).
+	Results int
+}
+
+// Query answers a tree-pattern query, returning matching document ids in
+// ascending order. The semantics are designator-level: two values in the
+// same hash bucket are indistinguishable (use QueryOptions.Verify for exact
+// value semantics).
+func (ix *Index) Query(pat *query.Pattern) ([]int32, error) {
+	return ix.QueryWith(pat, QueryOptions{})
+}
+
+// QueryWith is Query with options.
+func (ix *Index) QueryWith(pat *query.Pattern, qo QueryOptions) ([]int32, error) {
+	if ix.prio == nil {
+		return nil, fmt.Errorf("index: strategy %q has no priority; constraint matching requires a prioritized strategy such as g_best", ix.strategy.Name())
+	}
+	if qo.Verify && ix.docs == nil {
+		return nil, fmt.Errorf("index: Verify requires Options.KeepDocuments")
+	}
+	insts := pat.Instantiate(ix.enc, ix.ci, ix.opts.InstantiationLimit)
+	res := newResultSet(ix.maxDocID, qo.MaxResults)
+	res.stats = qo.Stats
+	enumLimit := ix.opts.OrderEnumerationLimit
+	if enumLimit <= 0 {
+		enumLimit = DefaultOrderEnumerationLimit
+	}
+	if qo.Stats != nil {
+		qo.Stats.Instances = len(insts)
+	}
+	for _, inst := range insts {
+		if res.full() {
+			break
+		}
+		orders := sequence.EnumerateInstanceOrders(inst.Paths, inst.Parent, ix.prio, enumLimit)
+		if qo.Stats != nil {
+			qo.Stats.Orders += len(orders)
+		}
+		for _, q := range orders {
+			if res.full() {
+				break
+			}
+			ix.search(q, qo.Naive, res)
+		}
+	}
+	out := res.sorted()
+	if qo.Stats != nil {
+		qo.Stats.Results = len(out)
+	}
+	if qo.Verify {
+		out = ix.verifyCandidates(pat, out)
+	}
+	return out, nil
+}
+
+// verifyCandidates filters candidate ids by the ground-truth matcher.
+func (ix *Index) verifyCandidates(pat *query.Pattern, cand []int32) []int32 {
+	byID := make(map[int32]*xmltree.Document, len(ix.docs))
+	for _, d := range ix.docs {
+		byID[d.ID] = d
+	}
+	var out []int32
+	for _, id := range cand {
+		if d := byID[id]; d != nil && pat.MatchesTree(d.Root) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// resultSet deduplicates doc ids with a stamp array; an optional cap stops
+// the search early (MaxResults).
+type resultSet struct {
+	stamp []bool
+	ids   []int32
+	limit int // 0: unlimited
+	stats *QueryStats
+}
+
+func newResultSet(maxID int32, limit int) *resultSet {
+	return &resultSet{stamp: make([]bool, maxID+1), limit: limit}
+}
+
+func (r *resultSet) full() bool {
+	return r.limit > 0 && len(r.ids) >= r.limit
+}
+
+func (r *resultSet) addAll(ids []int32) {
+	for _, id := range ids {
+		if r.full() {
+			return
+		}
+		if !r.stamp[id] {
+			r.stamp[id] = true
+			r.ids = append(r.ids, id)
+		}
+	}
+}
+
+func (r *resultSet) sorted() []int32 {
+	sort.Slice(r.ids, func(i, j int) bool { return r.ids[i] < r.ids[j] })
+	return r.ids
+}

@@ -1,0 +1,518 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xseq/internal/pager"
+	"xseq/internal/pathenc"
+	"xseq/internal/query"
+	"xseq/internal/schema"
+	"xseq/internal/sequence"
+	"xseq/internal/xmltree"
+)
+
+// buildCS builds a probability-strategy index over docs, inferring the
+// schema from the corpus itself.
+func buildCS(t testing.TB, docs []*xmltree.Document, opts Options) *Index {
+	t.Helper()
+	roots := make([]*xmltree.Node, len(docs))
+	for i, d := range docs {
+		roots[i] = d.Root
+	}
+	sch, err := schema.Infer(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Encoder == nil {
+		opts.Encoder = pathenc.NewEncoder(1 << 20)
+	}
+	if opts.Strategy == nil {
+		opts.Strategy = sequence.NewProbability(sch, opts.Encoder)
+	}
+	ix, err := Build(docs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// canonicalPattern clones the pattern with values replaced by their hash
+// bucket names, matching sequence.CanonicalizeValues on documents, so
+// ground-truth comparisons share the engine's designator-level semantics.
+func canonicalPattern(p *query.Pattern, enc *pathenc.Encoder) *query.Pattern {
+	var clone func(n *query.PNode) *query.PNode
+	clone = func(n *query.PNode) *query.PNode {
+		cp := &query.PNode{Axis: n.Axis, Wildcard: n.Wildcard, Name: n.Name, IsValue: n.IsValue, Value: n.Value}
+		if n.IsValue {
+			cp.Value = enc.SymbolName(enc.ValueSymbol(n.Value))
+		}
+		for _, c := range n.Children {
+			cp.Children = append(cp.Children, clone(c))
+		}
+		return cp
+	}
+	return &query.Pattern{Root: clone(p.Root), Text: p.Text}
+}
+
+// groundTruth evaluates the pattern at designator level: both documents and
+// pattern canonicalized to value-bucket names.
+func groundTruth(docs []*xmltree.Document, p *query.Pattern, enc *pathenc.Encoder) []int32 {
+	canon := make([]*xmltree.Document, len(docs))
+	for i, d := range docs {
+		canon[i] = &xmltree.Document{ID: d.ID, Root: sequence.CanonicalizeValues(d.Root, enc)}
+	}
+	return query.Eval(canon, canonicalPattern(p, enc))
+}
+
+func sameIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildErrors(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	st := sequence.DepthFirst{Enc: enc}
+	if _, err := Build(nil, Options{Strategy: st}); err == nil {
+		t.Fatal("missing encoder should fail")
+	}
+	if _, err := Build(nil, Options{Encoder: enc}); err == nil {
+		t.Fatal("missing strategy should fail")
+	}
+	docs := []*xmltree.Document{
+		{ID: 1, Root: xmltree.Figure2a()},
+		{ID: 1, Root: xmltree.Figure2b()},
+	}
+	if _, err := Build(docs, Options{Encoder: enc, Strategy: st}); err == nil {
+		t.Fatal("duplicate ids should fail")
+	}
+	if _, err := Build([]*xmltree.Document{{ID: -2, Root: xmltree.Figure2a()}},
+		Options{Encoder: enc, Strategy: st}); err == nil {
+		t.Fatal("negative id should fail")
+	}
+}
+
+func TestBuildCounts(t *testing.T) {
+	docs := []*xmltree.Document{
+		{ID: 0, Root: xmltree.Figure1()},
+		{ID: 1, Root: xmltree.Figure1()},
+	}
+	ix := buildCS(t, docs, Options{})
+	if ix.NumDocuments() != 2 {
+		t.Fatalf("NumDocuments = %d", ix.NumDocuments())
+	}
+	// Identical documents share their entire chain.
+	if ix.NumNodes() != xmltree.Figure1().Size() {
+		t.Fatalf("NumNodes = %d want %d", ix.NumNodes(), xmltree.Figure1().Size())
+	}
+	if ix.NumLinks() == 0 {
+		t.Fatal("no links built")
+	}
+	want := 4*int64(2) + 8*int64(ix.NumNodes())
+	if got := ix.EstimatedDiskBytes(); got != want {
+		t.Fatalf("EstimatedDiskBytes = %d want %d", got, want)
+	}
+}
+
+func TestQueryRequiresPriority(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	docs := []*xmltree.Document{{ID: 0, Root: xmltree.Figure1()}}
+	ix, err := Build(docs, Options{Encoder: enc, Strategy: sequence.DepthFirst{Enc: enc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Query(query.MustParse("/P")); err == nil {
+		t.Fatal("depth-first strategy should be rejected for querying")
+	}
+}
+
+func TestQuerySection31(t *testing.T) {
+	docs := []*xmltree.Document{
+		{ID: 7, Root: xmltree.Figure1()},
+		{ID: 9, Root: xmltree.Figure2a()}, // no values, no match
+	}
+	ix := buildCS(t, docs, Options{})
+	got, err := ix.Query(query.MustParse("/P[R/L='newyork']/D[L='boston']"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, []int32{7}) {
+		t.Fatalf("query result = %v", got)
+	}
+	// Wildcard form of the same query: /P/*[L='boston'] should hit doc 7
+	// (D has L=boston).
+	got2, err := ix.Query(query.MustParse("/P/*[L='boston']"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got2, []int32{7}) {
+		t.Fatalf("wildcard query result = %v", got2)
+	}
+}
+
+func TestFalseAlarmEliminated(t *testing.T) {
+	// Figure 4: data P(L(S), L(B)); query P(L(S,B)).
+	docs := []*xmltree.Document{{ID: 0, Root: xmltree.Figure4D()}}
+	ix := buildCS(t, docs, Options{})
+	pat := query.MustParse("/P/L[S][B]")
+
+	constraint, err := ix.Query(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(constraint) != 0 {
+		t.Fatalf("constraint match returned false alarm: %v", constraint)
+	}
+	naive, err := ix.QueryWith(pat, QueryOptions{Naive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(naive, []int32{0}) {
+		t.Fatalf("naive match should produce the false alarm; got %v", naive)
+	}
+}
+
+func TestTrueMatchesSurviveConstraint(t *testing.T) {
+	docs := []*xmltree.Document{{ID: 0, Root: xmltree.Figure4D()}}
+	ix := buildCS(t, docs, Options{})
+	for _, q := range []string{"/P/L/S", "/P/L/B", "/P[L/S][L/B]"} {
+		got, err := ix.Query(query.MustParse(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got, []int32{0}) {
+			t.Fatalf("query %s = %v want [0]", q, got)
+		}
+	}
+}
+
+func TestIsomorphicFormsBothMatch(t *testing.T) {
+	// Figure 5: both sibling orders of the data must answer the same
+	// queries (the enumeration remedy).
+	docs := []*xmltree.Document{
+		{ID: 0, Root: xmltree.Figure5a()},
+		{ID: 1, Root: xmltree.Figure5b()},
+	}
+	ix := buildCS(t, docs, Options{})
+	got, err := ix.Query(query.MustParse("/P[L/S][L/B]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, []int32{0, 1}) {
+		t.Fatalf("isomorphic forms: got %v want [0 1]", got)
+	}
+}
+
+func TestIdenticalSiblingDataNoFalseDismissal(t *testing.T) {
+	// Data with an empty D and a full D (Figure 3(c)); the query asking
+	// for D with both L and M must match, and the query asking for two
+	// separate D branches must also match.
+	docs := []*xmltree.Document{
+		{ID: 0, Root: xmltree.Figure3c()},
+		{ID: 1, Root: xmltree.Figure3b()},
+	}
+	ix := buildCS(t, docs, Options{})
+	got, err := ix.Query(query.MustParse("/P/D[L][M]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, []int32{0}) {
+		t.Fatalf("/P/D[L][M] = %v want [0] (only 3(c) has one D over both)", got)
+	}
+	// Two separate D branches require two distinct D witnesses (injective
+	// sibling mapping, the Figure 2(c) semantics): only 3(b) qualifies —
+	// in 3(c) the empty D has neither L nor M.
+	got2, err := ix.Query(query.MustParse("/P[D/L][D/M]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got2, []int32{1}) {
+		t.Fatalf("/P[D/L][D/M] = %v want [1]", got2)
+	}
+}
+
+func TestDescendantAndValueQueries(t *testing.T) {
+	docs := []*xmltree.Document{
+		{ID: 0, Root: xmltree.Figure1()},
+		{ID: 1, Root: xmltree.Figure3a()},
+	}
+	ix := buildCS(t, docs, Options{})
+	cases := []struct {
+		q    string
+		want []int32
+	}{
+		{"//N[text='GUI']", []int32{0}},
+		{"//L[text='boston']", []int32{0, 1}},
+		{"/P//M[text='mary']", []int32{0}},
+		{"//U", []int32{0}},
+		{"//Z", nil},
+		{"/P/R/L[text='boston']", []int32{1}},
+	}
+	for _, c := range cases {
+		got, err := ix.Query(query.MustParse(c.q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got, c.want) {
+			t.Fatalf("query %s = %v want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestVerifiedQuery(t *testing.T) {
+	docs := []*xmltree.Document{{ID: 0, Root: xmltree.Figure1()}}
+	ix := buildCS(t, docs, Options{KeepDocuments: true})
+	got, err := ix.QueryWith(query.MustParse("/P/D/L[text='boston']"), QueryOptions{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, []int32{0}) {
+		t.Fatalf("verified query = %v", got)
+	}
+	// Verify without KeepDocuments errors.
+	ix2 := buildCS(t, docs, Options{})
+	if _, err := ix2.QueryWith(query.MustParse("/P"), QueryOptions{Verify: true}); err == nil {
+		t.Fatal("Verify without KeepDocuments should fail")
+	}
+}
+
+func TestLinkInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var docs []*xmltree.Document
+	for i := 0; i < 40; i++ {
+		docs = append(docs, &xmltree.Document{ID: int32(i), Root: randomTree(rng, 4, 3)})
+	}
+	ix := buildCS(t, docs, Options{})
+	for p, link := range ix.links {
+		for i := range link {
+			if i > 0 && link[i-1].pre >= link[i].pre {
+				t.Fatalf("link %s not sorted", ix.enc.PathString(p))
+			}
+			if link[i].pre > link[i].max {
+				t.Fatalf("link %s entry %d inverted interval", ix.enc.PathString(p), i)
+			}
+			if a := link[i].anc; a >= 0 {
+				if a >= int32(i) {
+					t.Fatalf("anc points forward")
+				}
+				if !(link[a].pre < link[i].pre && link[a].max >= link[i].max) {
+					t.Fatalf("anc does not contain entry")
+				}
+				if !link[a].embeds {
+					t.Fatalf("ancestor not marked embeds")
+				}
+			}
+		}
+	}
+}
+
+func randomTree(rng *rand.Rand, depth, fan int) *xmltree.Node {
+	return randomSubtree(rng, depth, fan, true)
+}
+
+func randomSubtree(rng *rand.Rand, depth, fan int, isRoot bool) *xmltree.Node {
+	labels := []string{"A", "B", "C"}
+	var n *xmltree.Node
+	if isRoot {
+		// A fixed root label keeps corpora schema-inferable.
+		n = xmltree.NewElem("R")
+	} else {
+		n = xmltree.NewElem(labels[rng.Intn(len(labels))])
+	}
+	if depth <= 1 {
+		return n
+	}
+	k := rng.Intn(fan + 1)
+	for i := 0; i < k; i++ {
+		if rng.Intn(6) == 0 {
+			n.Children = append(n.Children, xmltree.NewValue(labels[rng.Intn(len(labels))]))
+		} else {
+			n.Children = append(n.Children, randomSubtree(rng, depth-1, fan, false))
+		}
+	}
+	return n
+}
+
+func randomSubPattern(rng *rand.Rand, t *xmltree.Node) *xmltree.Node {
+	p := &xmltree.Node{Name: t.Name, Value: t.Value, IsValue: t.IsValue}
+	for _, c := range t.Children {
+		if rng.Intn(2) == 0 {
+			p.Children = append(p.Children, randomSubPattern(rng, c))
+		}
+	}
+	return p
+}
+
+// TestQuickQueryEquivalence is the library's central property: for random
+// corpora with abundant identical siblings and random extracted patterns,
+// constraint matching agrees exactly with the ground-truth structural
+// evaluator — query equivalence (Theorem 2) plus the isomorphism
+// enumeration remedy.
+func TestQuickQueryEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		var docs []*xmltree.Document
+		for i := 0; i < 12; i++ {
+			docs = append(docs, &xmltree.Document{ID: int32(i), Root: randomTree(r, 4, 3)})
+		}
+		ix := buildCS(t, docs, Options{})
+		for k := 0; k < 6; k++ {
+			src := docs[r.Intn(len(docs))].Root
+			pat := query.FromTree(randomSubPattern(r, src))
+			want := groundTruth(docs, pat, ix.enc)
+			got, err := ix.Query(pat)
+			if err != nil {
+				t.Logf("query error: %v", err)
+				return false
+			}
+			if !sameIDs(got, want) {
+				t.Logf("mismatch for %s:\n got %v\nwant %v", pat, got, want)
+				for _, d := range docs {
+					t.Logf("doc %d: %v", d.ID, d.Root)
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNaiveNeverMissesTruth: the naive mode is a superset of the
+// constraint answers (false alarms only, never dismissals relative to the
+// constraint engine).
+func TestQuickNaiveSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		var docs []*xmltree.Document
+		for i := 0; i < 10; i++ {
+			docs = append(docs, &xmltree.Document{ID: int32(i), Root: randomTree(r, 4, 3)})
+		}
+		ix := buildCS(t, docs, Options{})
+		for k := 0; k < 4; k++ {
+			src := docs[r.Intn(len(docs))].Root
+			pat := query.FromTree(randomSubPattern(r, src))
+			strict, err := ix.Query(pat)
+			if err != nil {
+				return false
+			}
+			naive, err := ix.QueryWith(pat, QueryOptions{Naive: true})
+			if err != nil {
+				return false
+			}
+			set := map[int32]bool{}
+			for _, id := range naive {
+				set[id] = true
+			}
+			for _, id := range strict {
+				if !set[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagedAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var docs []*xmltree.Document
+	for i := 0; i < 200; i++ {
+		docs = append(docs, &xmltree.Document{ID: int32(i), Root: randomTree(rng, 4, 3)})
+	}
+	ix := buildCS(t, docs, Options{})
+	pool := pager.NewPool(8)
+	pages, err := ix.AttachPager(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages <= 0 || ix.PagedBytes() != pages*pager.PageSize {
+		t.Fatalf("pages = %d bytes = %d", pages, ix.PagedBytes())
+	}
+	pat := query.MustParse("//A")
+	if _, err := ix.Query(pat); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.PagerStats()
+	if s.Reads == 0 || s.Misses == 0 {
+		t.Fatalf("paged query did no I/O: %+v", s)
+	}
+	// Warm rerun: fewer misses than cold.
+	ix.ResetPagerStats()
+	if _, err := ix.Query(pat); err != nil {
+		t.Fatal(err)
+	}
+	warm := ix.PagerStats()
+	ix.DropPagerCache()
+	if _, err := ix.Query(pat); err != nil {
+		t.Fatal(err)
+	}
+	cold := ix.PagerStats()
+	if warm.Misses > cold.Misses {
+		t.Fatalf("warm misses %d > cold misses %d", warm.Misses, cold.Misses)
+	}
+	// Paged results identical to unpaged.
+	ix.DetachPager()
+	if ix.PagerStats() != (pager.Stats{}) {
+		t.Fatal("detached stats should be zero")
+	}
+	unpaged, _ := ix.Query(pat)
+	pool2 := pager.NewPool(8)
+	if _, err := ix.AttachPager(pool2); err != nil {
+		t.Fatal(err)
+	}
+	paged, _ := ix.Query(pat)
+	if !sameIDs(unpaged, paged) {
+		t.Fatal("paged and unpaged results differ")
+	}
+}
+
+func TestBulkLoadEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	var docs []*xmltree.Document
+	for i := 0; i < 50; i++ {
+		docs = append(docs, &xmltree.Document{ID: int32(i), Root: randomTree(rng, 4, 3)})
+	}
+	enc := pathenc.NewEncoder(1 << 20)
+	roots := make([]*xmltree.Node, len(docs))
+	for i, d := range docs {
+		roots[i] = d.Root
+	}
+	sch, err := schema.Infer(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sequence.NewProbability(sch, enc)
+	a, err := Build(docs, Options{Encoder: enc, Strategy: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(docs, Options{Encoder: enc, Strategy: st, BulkLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("bulk load changed node count: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	pat := query.MustParse("//B")
+	ra, _ := a.Query(pat)
+	rb, _ := b.Query(pat)
+	if !sameIDs(ra, rb) {
+		t.Fatalf("bulk load changed answers: %v vs %v", ra, rb)
+	}
+}

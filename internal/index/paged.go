@@ -1,0 +1,115 @@
+package index
+
+import (
+	"sort"
+
+	"xseq/internal/pager"
+	"xseq/internal/pathenc"
+)
+
+// Paged mode: the index's on-disk footprint is simulated by laying the path
+// links and the flattened doc-id lists out on fixed-size pages. Every link
+// probe and doc-list read then charges the attached buffer pool, so queries
+// report the paper's "# disk accesses" / "# of pages" metrics.
+
+// linkEntryBytes is the serialized size of one link entry: pre, max, anc
+// (3×int32) plus flags, padded to 16 bytes.
+const linkEntryBytes = 16
+
+// docIDBytes is the serialized size of one document id.
+const docIDBytes = 4
+
+type pagedLayout struct {
+	pool  *pager.Pool
+	links map[pathenc.PathID]pager.Region
+	docs  pager.Region
+	alloc *pager.Allocator
+}
+
+// AttachPager lays the index out on pages and routes subsequent query
+// accesses through the pool. Links are allocated in descending length order
+// (long links first), one region each; the flattened doc-id array gets its
+// own region. Returns the total number of pages of the layout.
+func (ix *Index) AttachPager(pool *pager.Pool) (int64, error) {
+	alloc := pager.NewAllocator(pager.PageSize)
+	pg := &pagedLayout{pool: pool, links: make(map[pathenc.PathID]pager.Region), alloc: alloc}
+
+	paths := make([]pathenc.PathID, 0, len(ix.links))
+	for p := range ix.links {
+		paths = append(paths, p)
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		li, lj := len(ix.links[paths[i]]), len(ix.links[paths[j]])
+		if li != lj {
+			return li > lj
+		}
+		return paths[i] < paths[j]
+	})
+	for _, p := range paths {
+		r, err := alloc.Alloc(len(ix.links[p]), linkEntryBytes)
+		if err != nil {
+			return 0, err
+		}
+		pg.links[p] = r
+	}
+	r, err := alloc.Alloc(len(ix.ends.ids), docIDBytes)
+	if err != nil {
+		return 0, err
+	}
+	pg.docs = r
+	ix.pg = pg
+	return alloc.TotalPages(), nil
+}
+
+// DetachPager stops I/O accounting.
+func (ix *Index) DetachPager() { ix.pg = nil }
+
+// PagerStats returns the pool counters (zero Stats when detached).
+func (ix *Index) PagerStats() pager.Stats {
+	if ix.pg == nil {
+		return pager.Stats{}
+	}
+	return ix.pg.pool.Stats()
+}
+
+// ResetPagerStats zeroes the pool counters, keeping the pool warm.
+func (ix *Index) ResetPagerStats() {
+	if ix.pg != nil {
+		ix.pg.pool.ResetStats()
+	}
+}
+
+// DropPagerCache empties the pool (cold-cache measurements).
+func (ix *Index) DropPagerCache() {
+	if ix.pg != nil {
+		ix.pg.pool.Drop()
+	}
+}
+
+// PagedBytes reports the simulated on-disk size in bytes (0 when detached).
+func (ix *Index) PagedBytes() int64 {
+	if ix.pg == nil {
+		return 0
+	}
+	return ix.pg.alloc.TotalBytes()
+}
+
+func (ix *Index) touchLinkSlot(p pathenc.PathID, slot int) {
+	if ix.pg == nil {
+		return
+	}
+	if r, ok := ix.pg.links[p]; ok {
+		ix.pg.pool.Touch(r.PageOf(slot))
+	}
+}
+
+func (ix *Index) touchDocRange(off, n int32) {
+	if ix.pg == nil || n <= 0 {
+		return
+	}
+	first := ix.pg.docs.PageOf(int(off))
+	last := ix.pg.docs.PageOf(int(off + n - 1))
+	for pg := first; pg <= last; pg++ {
+		ix.pg.pool.Touch(pg)
+	}
+}

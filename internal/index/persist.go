@@ -1,0 +1,162 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/schema"
+	"xseq/internal/sequence"
+	"xseq/internal/xmltree"
+)
+
+// Persistence: a built index serializes to a single stream (gob with a
+// version header) carrying the designator/path tables, the path links with
+// their sibling-cover metadata, the flattened document-id lists, the schema
+// the sequencing strategy was derived from, and the corpus repeat set. Load
+// reconstructs a query-ready index — the trie itself is not stored (queries
+// need only the links and labels), so loaded indexes are immutable and
+// Trie() returns nil.
+
+// persistVersion guards format compatibility.
+const persistVersion = 1
+
+type persistedLink struct {
+	Path   pathenc.PathID
+	Pre    []int32
+	Max    []int32
+	Anc    []int32
+	Embeds []bool
+}
+
+type persistedIndex struct {
+	Version   int
+	Encoder   pathenc.Snapshot
+	Schema    *schema.Node
+	Repeat    []pathenc.PathID
+	Links     []persistedLink
+	EndPres   []int32
+	EndOffs   []int32
+	EndLens   []int32
+	EndIDs    []int32
+	NumDocs   int
+	MaxDocID  int32
+	MaxSerial int32
+	Options   persistedOptions
+	Docs      []*xmltree.Document // nil unless KeepDocuments
+}
+
+type persistedOptions struct {
+	InstantiationLimit    int
+	OrderEnumerationLimit int
+	KeepDocuments         bool
+}
+
+// Save writes the index to w. Only probability-strategy (g_best) indexes
+// are saveable: the strategy is reconstructed from the schema on Load.
+func (ix *Index) Save(w io.Writer) error {
+	prob, ok := ix.strategy.(*sequence.Probability)
+	if !ok {
+		return fmt.Errorf("index: only probability-strategy indexes can be saved (have %q)", ix.strategy.Name())
+	}
+	sch := prob.Model.Schema()
+	if sch == nil || sch.Root == nil {
+		return fmt.Errorf("index: strategy carries no schema")
+	}
+	p := persistedIndex{
+		Version:   persistVersion,
+		Encoder:   ix.enc.Snapshot(),
+		Schema:    sch.Root,
+		NumDocs:   ix.numDocs,
+		MaxDocID:  ix.maxDocID,
+		MaxSerial: ix.maxSerial,
+		EndPres:   ix.ends.pres,
+		EndOffs:   ix.ends.offs,
+		EndLens:   ix.ends.lens,
+		EndIDs:    ix.ends.ids,
+		Options: persistedOptions{
+			InstantiationLimit:    ix.opts.InstantiationLimit,
+			OrderEnumerationLimit: ix.opts.OrderEnumerationLimit,
+			KeepDocuments:         ix.opts.KeepDocuments,
+		},
+		Docs: ix.docs,
+	}
+	for path := range prob.RepeatPaths() {
+		p.Repeat = append(p.Repeat, path)
+	}
+	for path, link := range ix.links {
+		pl := persistedLink{
+			Path:   path,
+			Pre:    make([]int32, len(link)),
+			Max:    make([]int32, len(link)),
+			Anc:    make([]int32, len(link)),
+			Embeds: make([]bool, len(link)),
+		}
+		for i, e := range link {
+			pl.Pre[i], pl.Max[i], pl.Anc[i], pl.Embeds[i] = e.pre, e.max, e.anc, e.embeds
+		}
+		p.Links = append(p.Links, pl)
+	}
+	return gob.NewEncoder(w).Encode(&p)
+}
+
+// Load reconstructs a query-ready index from a Save stream.
+func Load(r io.Reader) (*Index, error) {
+	var p persistedIndex
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("index: load: format version %d, want %d", p.Version, persistVersion)
+	}
+	enc, err := pathenc.FromSnapshot(p.Encoder)
+	if err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	sch, err := schema.New(p.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("index: load: schema: %w", err)
+	}
+	strategy := sequence.NewProbability(sch, enc)
+	repeat := make(map[pathenc.PathID]bool, len(p.Repeat))
+	for _, path := range p.Repeat {
+		repeat[path] = true
+	}
+	strategy.SetRepeatPaths(repeat)
+
+	ix := &Index{
+		enc:       enc,
+		strategy:  strategy,
+		prio:      strategy,
+		links:     make(map[pathenc.PathID][]linkEntry, len(p.Links)),
+		numDocs:   p.NumDocs,
+		maxDocID:  p.MaxDocID,
+		maxSerial: p.MaxSerial,
+		docs:      p.Docs,
+		opts: Options{
+			Encoder:               enc,
+			Strategy:              strategy,
+			InstantiationLimit:    p.Options.InstantiationLimit,
+			OrderEnumerationLimit: p.Options.OrderEnumerationLimit,
+			KeepDocuments:         p.Options.KeepDocuments,
+		},
+	}
+	ix.ends = endList{pres: p.EndPres, offs: p.EndOffs, lens: p.EndLens, ids: p.EndIDs}
+	for _, pl := range p.Links {
+		n := len(pl.Pre)
+		if len(pl.Max) != n || len(pl.Anc) != n || len(pl.Embeds) != n {
+			return nil, fmt.Errorf("index: load: link %d has ragged arrays", pl.Path)
+		}
+		link := make([]linkEntry, n)
+		for i := range link {
+			link[i] = linkEntry{pre: pl.Pre[i], max: pl.Max[i], anc: pl.Anc[i], embeds: pl.Embeds[i]}
+		}
+		ix.links[pl.Path] = link
+	}
+	ix.ci = enc.BuildChildIndex()
+	if err := ix.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("index: load: corrupt stream: %w", err)
+	}
+	return ix, nil
+}

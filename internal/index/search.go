@@ -1,0 +1,171 @@
+package index
+
+import (
+	"sort"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/sequence"
+)
+
+// This file implements Algorithm 1: constraint subsequence matching over the
+// path links.
+//
+// A document's constraint sequence inserts as one root-to-leaf chain of the
+// trie, so a subsequence match against a document visits trie nodes of
+// strictly increasing depth along that chain: each query element is matched
+// by a link entry nested inside the previous element's interval. The
+// constraint test (Definition 3's second criterion) is enforced through the
+// sibling-cover rule: whenever a matched entry "embeds identical siblings"
+// (a later same-path entry is nested inside it), it is recorded in ins, and
+// a later candidate whose relevant forward prefix would resolve to a
+// *different* same-path entry is rejected (Theorem 3).
+//
+// Two refinements over the paper's pseudocode, both required for
+// correctness on tries with branching (the paper's narration assumes the
+// nested chain case):
+//
+//  1. ins keeps only the most recent matched entry per path — in an
+//     f2-generated query sequence, later elements' forward prefixes always
+//     resolve to the latest preceding occurrence of the prefix path, so
+//     earlier group members impose no constraint once a newer one matched.
+//  2. the cover test is evaluated as "the innermost same-path strict
+//     ancestor of the candidate must be the recorded entry", instead of
+//     Definition 4's "inside the (i+1)-th entry of the link", which is its
+//     specialization to non-branching links.
+
+// insEntry records a matched entry that embeds identical siblings (or
+// shadows an older recorded entry of the same path).
+type insEntry struct {
+	path pathenc.PathID
+	link int32 // entry index within links[path]
+}
+
+func insHasPath(ins []insEntry, p pathenc.PathID) bool {
+	for k := len(ins) - 1; k >= 0; k-- {
+		if ins[k].path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// search runs one query sequence through the index, accumulating document
+// ids of every terminal range into res.
+func (ix *Index) search(q sequence.Sequence, naive bool, res *resultSet) {
+	if len(q) == 0 {
+		return
+	}
+	stats := res.stats
+	var ins []insEntry
+	var rec func(i int, lo, hi int32)
+	rec = func(i int, lo, hi int32) {
+		p := q[i]
+		link := ix.links[p]
+		if len(link) == 0 {
+			return
+		}
+		// Binary search the first entry with pre >= lo (Figure 9's
+		// "perform binary search in I to find nodes ∈ [vs, vm]").
+		start := ix.searchLink(p, link, lo, stats)
+		for idx := start; idx < len(link) && link[idx].pre <= hi && !res.full(); idx++ {
+			ix.touchLinkSlot(p, idx)
+			if stats != nil {
+				stats.EntriesScanned++
+			}
+			e := link[idx]
+			if !naive && ix.siblingCovered(p, e, ins, stats) {
+				continue
+			}
+			if i == len(q)-1 {
+				// "output the document id lists of node v and all nodes
+				// under v".
+				res.addAll(ix.collectDocs(e.pre, e.max, nil))
+				continue
+			}
+			saved := len(ins)
+			if !naive && (e.embeds || insHasPath(ins, p)) {
+				// Record entries that embed identical siblings (they
+				// constrain later candidates), and any match whose path is
+				// already recorded — the newer match shadows the older one,
+				// because an f2 query sequence resolves later forward
+				// prefixes to the most recent occurrence.
+				ins = append(ins, insEntry{path: p, link: int32(idx)})
+			}
+			rec(i+1, e.pre+1, e.max)
+			ins = ins[:saved]
+		}
+	}
+	rec(0, 1, ix.maxSerial)
+}
+
+// searchLink binary searches link for the first entry with pre >= lo,
+// charging one page touch per probe when paged.
+func (ix *Index) searchLink(p pathenc.PathID, link []linkEntry, lo int32, stats *QueryStats) int {
+	return sort.Search(len(link), func(k int) bool {
+		ix.touchLinkSlot(p, k)
+		if stats != nil {
+			stats.LinkProbes++
+		}
+		return link[k].pre >= lo
+	})
+}
+
+// siblingCovered reports whether candidate entry e (a match for the current
+// query element) violates the constraint relative to any recorded ins
+// entry: for each recorded (path px, entry x) where px is a strict prefix
+// of the candidate's path, the innermost same-px strict ancestor of e must
+// be x itself; if a *different* same-px entry lies between them, the
+// candidate's forward prefix would resolve there and the match would not be
+// a constraint match.
+func (ix *Index) siblingCovered(p pathenc.PathID, e linkEntry, ins []insEntry, stats *QueryStats) bool {
+	if len(ins) == 0 {
+		return false
+	}
+	seen := map[pathenc.PathID]bool{}
+	// Later entries shadow earlier ones per path (most recent wins).
+	for k := len(ins) - 1; k >= 0; k-- {
+		x := ins[k]
+		if seen[x.path] {
+			continue
+		}
+		seen[x.path] = true
+		if !ix.enc.IsStrictPrefix(x.path, p) {
+			continue
+		}
+		if stats != nil {
+			stats.CoverChecks++
+		}
+		if ix.innermostAncestor(x.path, e.pre, stats) != x.link {
+			if stats != nil {
+				stats.CoverRejections++
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// innermostAncestor returns the index, within links[px], of the innermost
+// entry that strictly contains serial pre (an entry with entry.pre < pre
+// and entry.max >= pre), or -1. It binary searches the predecessor by pre
+// and follows anc pointers until containment — every same-path ancestor of
+// a serial is an ancestor of its link predecessor, so the anc chain visits
+// them all.
+func (ix *Index) innermostAncestor(px pathenc.PathID, pre int32, stats *QueryStats) int32 {
+	link := ix.links[px]
+	idx := sort.Search(len(link), func(k int) bool {
+		ix.touchLinkSlot(px, k)
+		if stats != nil {
+			stats.LinkProbes++
+		}
+		return link[k].pre >= pre
+	}) - 1
+	for idx >= 0 {
+		ix.touchLinkSlot(px, int(idx))
+		if link[idx].max >= pre {
+			return int32(idx)
+		}
+		idx = int(link[idx].anc)
+	}
+	return -1
+}

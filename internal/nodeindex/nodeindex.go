@@ -1,0 +1,232 @@
+// Package nodeindex implements the query-by-node baseline of Table 8: an
+// XISS-like structure (Li & Moon, VLDB 2001). Every document node gets a
+// region label (docID, start, end, level); per element name (and per value)
+// the index keeps the list of labeled nodes sorted by (doc, start). A tree
+// pattern is evaluated by structural joins along its edges: for each edge,
+// the candidate lists of parent and child steps are merge-joined on region
+// containment (with a level check for child-axis edges). Long element lists
+// make these joins the dominant cost — which is exactly why Table 8 shows
+// query-by-node losing on every query, even the simple path.
+package nodeindex
+
+import (
+	"fmt"
+	"sort"
+
+	"xseq/internal/query"
+	"xseq/internal/xmltree"
+)
+
+// Region is the (docID, start, end, level) label of one document node.
+type Region struct {
+	Doc   int32
+	Start int32
+	End   int32
+	Level int32
+}
+
+// Contains reports whether r strictly contains s in the same document.
+func (r Region) Contains(s Region) bool {
+	return r.Doc == s.Doc && r.Start < s.Start && s.End <= r.End
+}
+
+// Index is a node (element/value) index over a corpus.
+type Index struct {
+	elems  map[string][]Region // element name -> regions
+	values map[string][]Region // value text  -> regions
+	all    []Region            // every element region (wildcard steps)
+	// lastStats of the most recent query.
+	lastStats QueryStats
+}
+
+// QueryStats reports one query's structural-join work.
+type QueryStats struct {
+	// Joins counts structural joins performed (one per pattern edge and
+	// instance combination).
+	Joins int
+	// ScannedRegions counts region-list entries flowing through joins.
+	ScannedRegions int
+}
+
+// Build labels every document and constructs the node index.
+func Build(docs []*xmltree.Document) (*Index, error) {
+	ix := &Index{elems: map[string][]Region{}, values: map[string][]Region{}}
+	seen := map[int32]bool{}
+	for _, d := range docs {
+		if seen[d.ID] {
+			return nil, fmt.Errorf("nodeindex: duplicate document id %d", d.ID)
+		}
+		seen[d.ID] = true
+		counter := int32(0)
+		var walk func(n *xmltree.Node, level int32) Region
+		walk = func(n *xmltree.Node, level int32) Region {
+			counter++
+			r := Region{Doc: d.ID, Start: counter, Level: level}
+			for _, c := range n.Children {
+				walk(c, level+1)
+			}
+			r.End = counter
+			if n.IsValue {
+				ix.values[n.Value] = append(ix.values[n.Value], r)
+			} else {
+				ix.elems[n.Name] = append(ix.elems[n.Name], r)
+				ix.all = append(ix.all, r)
+			}
+			return r
+		}
+		walk(d.Root, 0)
+	}
+	sortRegions := func(rs []Region) {
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].Doc != rs[j].Doc {
+				return rs[i].Doc < rs[j].Doc
+			}
+			return rs[i].Start < rs[j].Start
+		})
+	}
+	for k := range ix.elems {
+		sortRegions(ix.elems[k])
+	}
+	for k := range ix.values {
+		sortRegions(ix.values[k])
+	}
+	sortRegions(ix.all)
+	return ix, nil
+}
+
+// NumRegions reports the total number of indexed regions.
+func (ix *Index) NumRegions() int {
+	total := 0
+	for _, rs := range ix.elems {
+		total += len(rs)
+	}
+	for _, rs := range ix.values {
+		total += len(rs)
+	}
+	return total
+}
+
+// LastStats returns the work counters of the most recent Query.
+func (ix *Index) LastStats() QueryStats { return ix.lastStats }
+
+// Query evaluates the pattern bottom-up with structural joins and returns
+// the ids of documents in which the pattern root has at least one witness
+// satisfying every edge. Like XISS (and unlike the ground truth), the joins
+// alone do not enforce injective sibling witnesses, so twigs with identical
+// sibling branches go through a final per-witness refinement using the
+// region algebra (no document re-parsing needed).
+func (ix *Index) Query(pat *query.Pattern) ([]int32, error) {
+	ix.lastStats = QueryStats{}
+	if pat == nil || pat.Root == nil {
+		return nil, fmt.Errorf("nodeindex: empty pattern")
+	}
+	witnesses := ix.eval(pat.Root, pat.Root.Axis == query.AxisChild)
+	var out []int32
+	seen := map[int32]bool{}
+	for _, w := range witnesses {
+		if !seen[w.Doc] {
+			seen[w.Doc] = true
+			out = append(out, w.Doc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// candidates returns the region list for one pattern step.
+func (ix *Index) candidates(n *query.PNode) []Region {
+	switch {
+	case n.IsValue:
+		return ix.values[n.Value]
+	case n.Wildcard:
+		return ix.all
+	default:
+		return ix.elems[n.Name]
+	}
+}
+
+// eval returns the regions that root a full embedding of the pattern
+// subtree at n. rootAnchored restricts matches to document roots (level 0).
+func (ix *Index) eval(n *query.PNode, rootAnchored bool) []Region {
+	cands := ix.candidates(n)
+	ix.lastStats.ScannedRegions += len(cands)
+	if rootAnchored {
+		var filtered []Region
+		for _, r := range cands {
+			if r.Level == 0 {
+				filtered = append(filtered, r)
+			}
+		}
+		cands = filtered
+	}
+	if len(n.Children) == 0 {
+		return cands
+	}
+	// Evaluate children, then keep parents with an injective assignment of
+	// child witnesses (the refinement step).
+	childWitnesses := make([][]Region, len(n.Children))
+	for i, c := range n.Children {
+		childWitnesses[i] = ix.eval(c, false)
+		if len(childWitnesses[i]) == 0 {
+			return nil
+		}
+	}
+	var out []Region
+	for _, parent := range cands {
+		// Structural join: witnesses of each child contained in parent,
+		// with the level constraint for child-axis edges.
+		ix.lastStats.Joins += len(n.Children)
+		options := make([][]Region, len(n.Children))
+		ok := true
+		for i, c := range n.Children {
+			ix.lastStats.ScannedRegions += len(childWitnesses[i])
+			for _, w := range childWitnesses[i] {
+				if !parent.Contains(w) {
+					continue
+				}
+				if c.Axis == query.AxisChild && w.Level != parent.Level+1 {
+					continue
+				}
+				options[i] = append(options[i], w)
+			}
+			if len(options[i]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok && injectiveAssignment(options) {
+			out = append(out, parent)
+		}
+	}
+	return out
+}
+
+// injectiveAssignment checks whether each child slot can take a distinct
+// witness (distinct by (Doc, Start)).
+func injectiveAssignment(options [][]Region) bool {
+	order := make([]int, len(options))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(options[order[a]]) < len(options[order[b]]) })
+	used := map[int64]bool{}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			return true
+		}
+		for _, w := range options[order[k]] {
+			key := int64(w.Doc)<<32 | int64(w.Start)
+			if used[key] {
+				continue
+			}
+			used[key] = true
+			if rec(k + 1) {
+				return true
+			}
+			delete(used, key)
+		}
+		return false
+	}
+	return rec(0)
+}

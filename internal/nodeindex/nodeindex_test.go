@@ -1,0 +1,173 @@
+package nodeindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xseq/internal/query"
+	"xseq/internal/xmltree"
+)
+
+func sameIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildErrors(t *testing.T) {
+	docs := []*xmltree.Document{
+		{ID: 1, Root: xmltree.Figure2a()},
+		{ID: 1, Root: xmltree.Figure2b()},
+	}
+	if _, err := Build(docs); err == nil {
+		t.Fatal("duplicate ids should fail")
+	}
+}
+
+func TestRegionLabels(t *testing.T) {
+	ix, err := Build([]*xmltree.Document{{ID: 0, Root: xmltree.Figure2a()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumRegions() != xmltree.Figure2a().Size() {
+		t.Fatalf("regions = %d want %d", ix.NumRegions(), xmltree.Figure2a().Size())
+	}
+	ps := ix.elems["P"]
+	if len(ps) != 1 || ps[0].Level != 0 || ps[0].Start != 1 {
+		t.Fatalf("P region = %+v", ps)
+	}
+	// P contains every other region.
+	for _, r := range ix.all {
+		if r != ps[0] && !ps[0].Contains(r) {
+			t.Fatalf("P does not contain %+v", r)
+		}
+	}
+}
+
+func TestStructuralJoinQueries(t *testing.T) {
+	ix, err := Build([]*xmltree.Document{
+		{ID: 0, Root: xmltree.Figure1()},
+		{ID: 1, Root: xmltree.Figure2a()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q    string
+		want []int32
+	}{
+		{"/P/D/L", []int32{0, 1}},
+		{"/P/D/L[text='boston']", []int32{0}},
+		{"/P//N", []int32{0}},
+		{"/P/N", nil}, // child axis excludes the deep N
+		{"/P/*/M", []int32{0, 1}},
+		{"//U/N[text='engine']", []int32{0}},
+	}
+	for _, c := range cases {
+		got, err := ix.Query(query.MustParse(c.q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got, c.want) {
+			t.Fatalf("%s: got %v want %v", c.q, got, c.want)
+		}
+		if ix.LastStats().ScannedRegions == 0 {
+			t.Fatalf("%s: no join work recorded", c.q)
+		}
+	}
+}
+
+func TestInjectiveWitnesses(t *testing.T) {
+	ix, err := Build([]*xmltree.Document{
+		{ID: 0, Root: xmltree.Figure2a()}, // two D's
+		{ID: 1, Root: xmltree.Figure2c()}, // one D over L and M
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Query(query.MustParse("/P[D/L][D/M]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, []int32{0}) {
+		t.Fatalf("two D branches: got %v want [0]", got)
+	}
+	got2, err := ix.Query(query.MustParse("/P/D[L][M]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got2, []int32{1}) {
+		t.Fatalf("one D over both: got %v want [1]", got2)
+	}
+}
+
+func randomTree(rng *rand.Rand, depth, fan int, isRoot bool) *xmltree.Node {
+	labels := []string{"A", "B", "C"}
+	var n *xmltree.Node
+	if isRoot {
+		n = xmltree.NewElem("R")
+	} else {
+		n = xmltree.NewElem(labels[rng.Intn(len(labels))])
+	}
+	if depth <= 1 {
+		return n
+	}
+	k := rng.Intn(fan + 1)
+	for i := 0; i < k; i++ {
+		if rng.Intn(6) == 0 {
+			n.Children = append(n.Children, xmltree.NewValue(labels[rng.Intn(len(labels))]))
+		} else {
+			n.Children = append(n.Children, randomTree(rng, depth-1, fan, false))
+		}
+	}
+	return n
+}
+
+func randomSubPattern(rng *rand.Rand, t *xmltree.Node) *xmltree.Node {
+	p := &xmltree.Node{Name: t.Name, Value: t.Value, IsValue: t.IsValue}
+	for _, c := range t.Children {
+		if rng.Intn(2) == 0 {
+			p.Children = append(p.Children, randomSubPattern(rng, c))
+		}
+	}
+	return p
+}
+
+func TestQuickNodeIndexEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1111))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		var docs []*xmltree.Document
+		for i := 0; i < 10; i++ {
+			docs = append(docs, &xmltree.Document{ID: int32(i), Root: randomTree(r, 4, 3, true)})
+		}
+		ix, err := Build(docs)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 4; k++ {
+			src := docs[r.Intn(len(docs))].Root
+			pat := query.FromTree(randomSubPattern(r, src))
+			want := query.Eval(docs, pat)
+			got, err := ix.Query(pat)
+			if err != nil {
+				return false
+			}
+			if !sameIDs(got, want) {
+				t.Logf("mismatch for %s: got %v want %v", pat, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package pager
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolHitsAndMisses(t *testing.T) {
+	p := NewPool(2)
+	p.Touch(1) // miss
+	p.Touch(1) // hit
+	p.Touch(2) // miss
+	p.Touch(1) // hit
+	s := p.Stats()
+	if s.Reads != 4 || s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.DiskAccesses() != 2 {
+		t.Fatalf("disk accesses = %d", s.DiskAccesses())
+	}
+	if s.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio = %v", s.HitRatio())
+	}
+}
+
+func TestPoolLRUEviction(t *testing.T) {
+	p := NewPool(2)
+	p.Touch(1)
+	p.Touch(2)
+	p.Touch(1) // 1 is now most recent
+	p.Touch(3) // evicts 2
+	if !p.Contains(1) || p.Contains(2) || !p.Contains(3) {
+		t.Fatalf("residency after eviction: 1=%v 2=%v 3=%v",
+			p.Contains(1), p.Contains(2), p.Contains(3))
+	}
+	p.Touch(2) // miss again
+	if p.Stats().Misses != 4 {
+		t.Fatalf("misses = %d want 4", p.Stats().Misses)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestPoolResetAndDrop(t *testing.T) {
+	p := NewPool(4)
+	p.Touch(1)
+	p.Touch(2)
+	p.ResetStats()
+	if p.Stats().Reads != 0 {
+		t.Fatal("ResetStats kept counters")
+	}
+	p.Touch(1) // still resident: hit
+	if p.Stats().Hits != 1 {
+		t.Fatalf("warm pool should hit; stats=%+v", p.Stats())
+	}
+	p.Drop()
+	p.Touch(1)
+	if p.Stats().Misses != 1 {
+		t.Fatal("cold pool should miss")
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	if NewPool(0).Capacity() != DefaultPoolPages {
+		t.Fatal("default capacity")
+	}
+	if NewPool(-1).Capacity() != DefaultPoolPages {
+		t.Fatal("negative capacity")
+	}
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty hit ratio")
+	}
+}
+
+func TestAllocatorRegions(t *testing.T) {
+	a := NewAllocator(4096)
+	r1, err := a.Alloc(1000, 16) // 256 items/page -> 4 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Pages != 4 || r1.ItemsPerPage != 256 || r1.Start != 0 {
+		t.Fatalf("r1 = %+v", r1)
+	}
+	r2, err := a.Alloc(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Start != 4 || r2.Pages != 1 {
+		t.Fatalf("r2 = %+v", r2)
+	}
+	r3, err := a.Alloc(0, 8) // empty region still gets a header page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Pages != 1 {
+		t.Fatalf("r3 = %+v", r3)
+	}
+	if a.TotalPages() != 6 {
+		t.Fatalf("total pages = %d", a.TotalPages())
+	}
+	if a.TotalBytes() != 6*4096 {
+		t.Fatalf("total bytes = %d", a.TotalBytes())
+	}
+}
+
+func TestAllocatorErrors(t *testing.T) {
+	a := NewAllocator(0)
+	if a.PageSize() != PageSize {
+		t.Fatalf("default page size = %d", a.PageSize())
+	}
+	if _, err := a.Alloc(10, 0); err == nil {
+		t.Fatal("zero item size should fail")
+	}
+	if _, err := a.Alloc(10, PageSize+1); err == nil {
+		t.Fatal("oversized item should fail")
+	}
+}
+
+func TestRegionPageOf(t *testing.T) {
+	a := NewAllocator(64)
+	r, err := a.Alloc(10, 16) // 4 items/page -> 3 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		slot int
+		page PageID
+	}{{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {9, 2}}
+	for _, c := range cases {
+		if got := r.PageOf(c.slot); got != c.page {
+			t.Errorf("PageOf(%d) = %d want %d", c.slot, got, c.page)
+		}
+	}
+}
+
+// Property: the pool never exceeds capacity, hits+misses == reads, and a
+// page touched twice in a row is always a hit.
+func TestQuickPoolInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64, capRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		capacity := int(capRaw%16) + 1
+		p := NewPool(capacity)
+		for i := 0; i < 500; i++ {
+			id := PageID(r.Intn(64))
+			p.Touch(id)
+			if p.Len() > capacity {
+				return false
+			}
+			before := p.Stats()
+			p.Touch(id)
+			after := p.Stats()
+			if after.Hits != before.Hits+1 {
+				return false
+			}
+		}
+		s := p.Stats()
+		return s.Hits+s.Misses == s.Reads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scanning a region sequentially costs exactly Pages misses on a
+// cold pool with sufficient capacity.
+func TestQuickSequentialScanCost(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%5000) + 1
+		a := NewAllocator(4096)
+		r, err := a.Alloc(n, 16)
+		if err != nil {
+			return false
+		}
+		p := NewPool(r.Pages + 1)
+		for slot := 0; slot < n; slot++ {
+			p.Touch(r.PageOf(slot))
+		}
+		return int(p.Stats().Misses) == r.Pages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package pathenc
+
+import (
+	"testing"
+)
+
+func populatedEncoder() *Encoder {
+	e := NewEncoder(123)
+	P := e.Extend(EmptyPath, e.ElementSymbol("P"))
+	R := e.Extend(P, e.ElementSymbol("R"))
+	e.Extend(R, e.ValueSymbol("boston"))
+	e.Extend(P, e.ElementSymbol("D"))
+	return e
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e := populatedEncoder()
+	back, err := FromSnapshot(e.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSymbols() != e.NumSymbols() || back.NumPaths() != e.NumPaths() {
+		t.Fatalf("sizes changed: %d/%d %d/%d",
+			back.NumSymbols(), e.NumSymbols(), back.NumPaths(), e.NumPaths())
+	}
+	if back.ValueSpace() != 123 {
+		t.Fatalf("value space = %d", back.ValueSpace())
+	}
+	// Symbol lookups reproduce the same ids.
+	sp, ok := back.LookupElementSymbol("P")
+	if !ok || sp != e.ElementSymbol("P") {
+		t.Fatalf("element symbol changed: %v %v", sp, ok)
+	}
+	vb, ok := back.LookupValueSymbol("boston")
+	if !ok || vb != e.ValueSymbol("boston") {
+		t.Fatalf("value symbol changed")
+	}
+	if back.WildcardSymbol() != e.WildcardSymbol() {
+		t.Fatal("wildcard symbol changed")
+	}
+	// Path lookups, prefix relations and renderings are identical.
+	for _, p := range e.AllPaths() {
+		if back.PathString(p) != e.PathString(p) {
+			t.Fatalf("path %d renders %q vs %q", p, back.PathString(p), e.PathString(p))
+		}
+		if back.Depth(p) != e.Depth(p) || back.Parent(p) != e.Parent(p) {
+			t.Fatalf("path %d structure changed", p)
+		}
+	}
+	// Interning continues seamlessly on the restored encoder.
+	P := back.Extend(EmptyPath, back.ElementSymbol("P"))
+	if np := back.Extend(P, back.ElementSymbol("New")); np == InvalidPath {
+		t.Fatal("cannot extend restored encoder")
+	}
+}
+
+func TestSnapshotTextValuesFlag(t *testing.T) {
+	e := NewTextEncoder()
+	e.CharSymbols("ab")
+	back, err := FromSnapshot(e.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.TextValues() {
+		t.Fatal("text-values flag lost")
+	}
+	syms, ok := back.LookupCharSymbols("ab")
+	if !ok || len(syms) != 2 {
+		t.Fatalf("char symbols lost: %v %v", syms, ok)
+	}
+	if _, ok := back.LookupCharSymbols("az"); ok {
+		t.Fatal("unknown char should not resolve")
+	}
+}
+
+func TestFromSnapshotRejectsCorruption(t *testing.T) {
+	good := populatedEncoder().Snapshot()
+
+	cases := []func(s *Snapshot){
+		func(s *Snapshot) { s.SymKinds = s.SymKinds[:1] },
+		func(s *Snapshot) { s.Lasts = s.Lasts[:1] },
+		func(s *Snapshot) { s.ValSpace = 0 },
+		func(s *Snapshot) { s.Parents[0] = 3 },
+		func(s *Snapshot) { s.Parents[2] = 5 },         // forward parent
+		func(s *Snapshot) { s.Lasts[1] = Symbol(999) }, // unknown symbol
+		func(s *Snapshot) { s.Parents = nil; s.Lasts = nil },
+		func(s *Snapshot) { s.SymKinds[1] = Kind(77) },
+	}
+	for i, corrupt := range cases {
+		s := good
+		s.SymNames = append([]string(nil), good.SymNames...)
+		s.SymKinds = append([]Kind(nil), good.SymKinds...)
+		s.Parents = append([]PathID(nil), good.Parents...)
+		s.Lasts = append([]Symbol(nil), good.Lasts...)
+		corrupt(&s)
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("case %d: corruption accepted", i)
+		}
+	}
+}

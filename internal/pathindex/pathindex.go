@@ -1,0 +1,282 @@
+// Package pathindex implements the query-by-path baseline of Table 8: a
+// DataGuide-like structure (Goldman & Widom, VLDB 1997) mapping every
+// distinct root-to-node path of the corpus to the posting list of documents
+// containing it. A simple (non-branching) path query is a single posting
+// lookup — which is why the paper's Table 8 shows query-by-path winning on
+// Q1 — while branching patterns, wildcards, and value predicates force
+// posting intersections plus per-document structural verification, the join
+// work the sequence index avoids.
+package pathindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xseq/internal/query"
+	"xseq/internal/xmltree"
+)
+
+// Index is a path index over a corpus.
+type Index struct {
+	docs []*xmltree.Document
+	// postings maps a path key ("a/b/c" or "a/b/=v" for values) to the
+	// sorted, deduplicated ids of documents containing that path.
+	postings map[string][]int32
+	// allPaths lists the distinct path keys (the DataGuide itself), used
+	// to expand wildcard and descendant steps.
+	allPaths []string
+	// lastStats of the most recent query.
+	lastStats QueryStats
+}
+
+// QueryStats reports one query's work profile.
+type QueryStats struct {
+	// Lookups counts posting-list fetches.
+	Lookups int
+	// ScannedPostings counts posting entries flowing through joins.
+	ScannedPostings int
+	// Verified counts per-document structural verifications.
+	Verified int
+}
+
+// Build constructs the path index.
+func Build(docs []*xmltree.Document) (*Index, error) {
+	ix := &Index{docs: docs, postings: map[string][]int32{}}
+	seen := map[int32]bool{}
+	for _, d := range docs {
+		if seen[d.ID] {
+			return nil, fmt.Errorf("pathindex: duplicate document id %d", d.ID)
+		}
+		seen[d.ID] = true
+		paths := map[string]bool{}
+		collectPaths(d.Root, "", paths)
+		for p := range paths {
+			ix.postings[p] = append(ix.postings[p], d.ID)
+		}
+	}
+	for p := range ix.postings {
+		ids := ix.postings[p]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		ix.postings[p] = ids
+		ix.allPaths = append(ix.allPaths, p)
+	}
+	sort.Strings(ix.allPaths)
+	return ix, nil
+}
+
+func collectPaths(n *xmltree.Node, prefix string, out map[string]bool) {
+	var key string
+	if n.IsValue {
+		key = prefix + "/=" + n.Value
+	} else {
+		key = prefix + "/" + n.Name
+	}
+	out[key] = true
+	for _, c := range n.Children {
+		collectPaths(c, key, out)
+	}
+}
+
+// NumPaths reports the DataGuide size (distinct paths).
+func (ix *Index) NumPaths() int { return len(ix.postings) }
+
+// NumPostings reports the total posting count.
+func (ix *Index) NumPostings() int {
+	total := 0
+	for _, ps := range ix.postings {
+		total += len(ps)
+	}
+	return total
+}
+
+// LastStats returns the work counters of the most recent Query.
+func (ix *Index) LastStats() QueryStats { return ix.lastStats }
+
+// Query answers a tree-pattern query: the pattern is decomposed into its
+// root-to-leaf simple paths, each resolved against the DataGuide (wildcards
+// and descendant steps expand over the stored path set), the posting lists
+// are intersected, and — unless the pattern is a single simple path —
+// every candidate is verified structurally.
+func (ix *Index) Query(pat *query.Pattern) ([]int32, error) {
+	ix.lastStats = QueryStats{}
+	if pat == nil || pat.Root == nil {
+		return nil, fmt.Errorf("pathindex: empty pattern")
+	}
+	leafPaths := decompose(pat)
+	var cand []int32
+	for i, lp := range leafPaths {
+		docs := ix.lookupPattern(lp)
+		if i == 0 {
+			cand = docs
+		} else {
+			cand = intersectSorted(cand, docs)
+		}
+		if len(cand) == 0 {
+			break
+		}
+	}
+	// A non-branching pattern needs no verification: containment of a
+	// matching path IS the match.
+	if !pat.HasBranching() {
+		return cand, nil
+	}
+	byID := map[int32]*xmltree.Document{}
+	for _, d := range ix.docs {
+		byID[d.ID] = d
+	}
+	var out []int32
+	for _, id := range cand {
+		ix.lastStats.Verified++
+		if d := byID[id]; d != nil && pat.MatchesTree(d.Root) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// pathPattern is one root-to-leaf path of the pattern: steps with axes.
+type pathStep struct {
+	axis     query.Axis
+	wildcard bool
+	isValue  bool
+	name     string // value text for value steps
+}
+
+// decompose flattens the pattern into its root-to-leaf step chains.
+func decompose(pat *query.Pattern) [][]pathStep {
+	var out [][]pathStep
+	var walk func(n *query.PNode, prefix []pathStep)
+	walk = func(n *query.PNode, prefix []pathStep) {
+		step := pathStep{axis: n.Axis, wildcard: n.Wildcard, isValue: n.IsValue, name: n.Name}
+		if n.IsValue {
+			step.name = n.Value
+		}
+		chain := append(append([]pathStep{}, prefix...), step)
+		if len(n.Children) == 0 {
+			out = append(out, chain)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, chain)
+		}
+	}
+	walk(pat.Root, nil)
+	return out
+}
+
+// lookupPattern resolves one step chain against the DataGuide: exact chains
+// hit a single posting list; wildcard or descendant steps scan the stored
+// path set with a segment matcher and union postings.
+func (ix *Index) lookupPattern(steps []pathStep) []int32 {
+	if exact, ok := exactKey(steps); ok {
+		ix.lastStats.Lookups++
+		ps := ix.postings[exact]
+		ix.lastStats.ScannedPostings += len(ps)
+		return ps
+	}
+	// Expand over the DataGuide.
+	var union []int32
+	for _, p := range ix.allPaths {
+		if matchesKey(steps, p) {
+			ix.lastStats.Lookups++
+			ps := ix.postings[p]
+			ix.lastStats.ScannedPostings += len(ps)
+			union = append(union, ps...)
+		}
+	}
+	return dedupSorted(union)
+}
+
+// exactKey builds the posting key when the chain has only child axes and no
+// wildcards.
+func exactKey(steps []pathStep) (string, bool) {
+	var b strings.Builder
+	for i, s := range steps {
+		if s.wildcard || (s.axis == query.AxisDescendant && i != 0) {
+			return "", false
+		}
+		if i == 0 && s.axis == query.AxisDescendant {
+			return "", false
+		}
+		if s.isValue {
+			b.WriteString("/=")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(s.name)
+	}
+	return b.String(), true
+}
+
+// matchesKey tests a stored path key against a step chain with wildcards
+// and descendant axes (the chain must match the FULL key).
+func matchesKey(steps []pathStep, key string) bool {
+	segs := strings.Split(strings.TrimPrefix(key, "/"), "/")
+	var match func(si, ki int) bool
+	match = func(si, ki int) bool {
+		if si == len(steps) {
+			return ki == len(segs)
+		}
+		s := steps[si]
+		if s.axis == query.AxisDescendant {
+			// The step may match at any deeper segment.
+			for k := ki; k < len(segs); k++ {
+				if segMatches(s, segs[k]) && match(si+1, k+1) {
+					return true
+				}
+			}
+			return false
+		}
+		if ki >= len(segs) || !segMatches(s, segs[ki]) {
+			return false
+		}
+		return match(si+1, ki+1)
+	}
+	// The first step anchors at the root (AxisChild) or anywhere
+	// (AxisDescendant, handled inside match).
+	return match(0, 0)
+}
+
+func segMatches(s pathStep, seg string) bool {
+	isValueSeg := strings.HasPrefix(seg, "=")
+	if s.isValue {
+		return isValueSeg && seg[1:] == s.name
+	}
+	if isValueSeg {
+		return false
+	}
+	return s.wildcard || seg == s.name
+}
+
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func dedupSorted(s []int32) []int32 {
+	if len(s) == 0 {
+		return nil
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, x := range s[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package query
+
+import (
+	"testing"
+
+	"xseq/internal/xmltree"
+)
+
+// FuzzParse checks the parser never panics, and that every successfully
+// parsed pattern renders to a string that reparses to the same rendering
+// (String is a fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"/a/b",
+		"//a",
+		"/a/*/c",
+		"/a[b/c='v']",
+		"/a[text='v']",
+		"/a[.='v']",
+		"/a[text()='v']",
+		"/site//item[location='United States']/mail/date[text='07/05/2000']",
+		"/book/[key='Maier]/author",
+		"//closed_auction[seller/person='person11304']/date[text='12/15/1999']",
+		"/a[b][c/d]",
+		"/a[text='bos*']",
+		"a/b",
+		"/", "//", "[", "]", "='x'", "/a[", "/a[b", "/a[b='",
+		"/a[@k='v']", "/*",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not reparse: %v", rendered, s, err)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("String not a fixpoint: %q -> %q", rendered, p2.String())
+		}
+		if p.Size() != p2.Size() {
+			t.Fatalf("size changed across render: %d vs %d", p.Size(), p2.Size())
+		}
+	})
+}
+
+// FuzzMatchesTree checks the ground-truth evaluator never panics on
+// arbitrary query/document combinations.
+func FuzzMatchesTree(f *testing.F) {
+	f.Add("/a[b='x']", "<a><b>x</b></a>")
+	f.Add("//b", "<a><b/><b/></a>")
+	f.Add("/*[c]", "<a><c/></a>")
+	f.Fuzz(func(t *testing.T, q, xmlSrc string) {
+		p, err := Parse(q)
+		if err != nil {
+			return
+		}
+		doc, err := xmltree.ParseString(xmlSrc)
+		if err != nil {
+			return
+		}
+		_ = p.MatchesTree(doc)
+	})
+}

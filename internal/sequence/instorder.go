@@ -1,0 +1,221 @@
+package sequence
+
+import (
+	"xseq/internal/pathenc"
+)
+
+// This file orders *query instances* — trees of path-encoded nodes that are
+// not backed by an xmltree (wildcards already instantiated, descendant steps
+// collapsed) — under the same f2 sequencing discipline used for documents:
+// highest priority first among nodes whose parent is emitted, and the whole
+// subtree of a node with identical-path siblings emitted contiguously before
+// any of its identical siblings. Data and query sequenced by the same
+// priority are order-compatible, which is what lets Algorithm 1 match them
+// by one linear pass.
+
+// Prioritizer scores interned paths; higher scores sequence earlier. The
+// probability strategy's model implements it (p'(C|root)).
+type Prioritizer interface {
+	Priority(p pathenc.PathID) float64
+}
+
+// Blocker reports paths whose subtrees the data-side sequencer emits as
+// contiguous blocks (repeat-capable paths). A Prioritizer that also
+// implements Blocker gets the same blocking applied to query instances,
+// keeping query order compatible with data order.
+type Blocker interface {
+	Blocks(p pathenc.PathID) bool
+}
+
+func blockerOf(prio Prioritizer) Blocker {
+	if b, ok := prio.(Blocker); ok {
+		return b
+	}
+	return nil
+}
+
+// Priority implements Prioritizer for the g_best strategy.
+func (s *Probability) Priority(p pathenc.PathID) float64 {
+	return s.Model.Priority(p)
+}
+
+// instNode mirrors EncodedNode for instance trees.
+type instNode struct {
+	path      pathenc.PathID
+	children  []int
+	identical bool
+	rank      int // permutation rank within the node's identical group
+}
+
+func buildInstNodes(paths []pathenc.PathID, parents []int) []instNode {
+	nodes := make([]instNode, len(paths))
+	for i := range paths {
+		nodes[i].path = paths[i]
+	}
+	for i, par := range parents {
+		if par >= 0 {
+			nodes[par].children = append(nodes[par].children, i)
+		}
+	}
+	for i := range nodes {
+		count := map[pathenc.PathID]int{}
+		for _, c := range nodes[i].children {
+			count[nodes[c].path]++
+		}
+		for _, c := range nodes[i].children {
+			if count[nodes[c].path] > 1 {
+				nodes[c].identical = true
+			}
+		}
+	}
+	return nodes
+}
+
+// orderInst sequences the instance by priority under the f2 discipline.
+// Ties break on (path, rank, index). Roots (parent -1) may be multiple in
+// principle; instances have exactly one.
+func orderInst(nodes []instNode, parents []int, prio Prioritizer) Sequence {
+	out := make(Sequence, 0, len(nodes))
+	blocker := blockerOf(prio)
+	blocks := func(idx int) bool {
+		return nodes[idx].identical || (blocker != nil && blocker.Blocks(nodes[idx].path))
+	}
+	better := func(a, b int) bool {
+		pa, pb := prio.Priority(nodes[a].path), prio.Priority(nodes[b].path)
+		if pa != pb {
+			return pa > pb
+		}
+		if nodes[a].path != nodes[b].path {
+			return nodes[a].path < nodes[b].path
+		}
+		if nodes[a].rank != nodes[b].rank {
+			return nodes[a].rank < nodes[b].rank
+		}
+		return a < b
+	}
+	// Simple selection loop: instances are small (query-sized), so an
+	// O(n^2) candidate scan is cheaper than a heap.
+	var emitSubtree func(idx int)
+	var candidates []int
+	emitSubtree = func(idx int) {
+		out = append(out, nodes[idx].path)
+		local := append([]int(nil), nodes[idx].children...)
+		for len(local) > 0 {
+			best := 0
+			for k := 1; k < len(local); k++ {
+				if better(local[k], local[best]) {
+					best = k
+				}
+			}
+			c := local[best]
+			local = append(local[:best], local[best+1:]...)
+			if blocks(c) {
+				emitSubtree(c)
+			} else {
+				out = append(out, nodes[c].path)
+				local = append(local, nodes[c].children...)
+			}
+		}
+	}
+	for i, par := range parents {
+		if par < 0 {
+			candidates = append(candidates, i)
+		}
+	}
+	for len(candidates) > 0 {
+		best := 0
+		for k := 1; k < len(candidates); k++ {
+			if better(candidates[k], candidates[best]) {
+				best = k
+			}
+		}
+		c := candidates[best]
+		candidates = append(candidates[:best], candidates[best+1:]...)
+		if blocks(c) {
+			emitSubtree(c)
+		} else {
+			out = append(out, nodes[c].path)
+			candidates = append(candidates, nodes[c].children...)
+		}
+	}
+	return out
+}
+
+// OrderInstance sequences a query instance (paths/parents arrays, parent -1
+// for the root) by the given priority under constraint f2.
+func OrderInstance(paths []pathenc.PathID, parents []int, prio Prioritizer) Sequence {
+	nodes := buildInstNodes(paths, parents)
+	return orderInst(nodes, parents, prio)
+}
+
+// EnumerateInstanceOrders returns the distinct sequences obtainable by
+// permuting the members of every identical-path sibling group of the
+// instance — the query-side false-dismissal remedy. Capped at limit
+// sequences (<= 0: no cap). Instances without identical groups yield one
+// sequence.
+func EnumerateInstanceOrders(paths []pathenc.PathID, parents []int, prio Prioritizer, limit int) []Sequence {
+	nodes := buildInstNodes(paths, parents)
+	// Collect identical groups: (parent, path) -> member indices.
+	type groupKey struct {
+		parent int
+		path   pathenc.PathID
+	}
+	groups := map[groupKey][]int{}
+	for i, par := range parents {
+		if nodes[i].identical {
+			groups[groupKey{par, paths[i]}] = append(groups[groupKey{par, paths[i]}], i)
+		}
+	}
+	if len(groups) == 0 {
+		return []Sequence{orderInst(nodes, parents, prio)}
+	}
+	// Enumerate rank assignments per group (cartesian product of
+	// permutations), capped.
+	var groupMembers [][]int
+	for _, m := range groups {
+		groupMembers = append(groupMembers, m)
+	}
+	var out []Sequence
+	seen := map[string]bool{}
+	var assign func(g int)
+	assign = func(g int) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if g == len(groupMembers) {
+			s := orderInst(nodes, parents, prio)
+			k := s.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, s)
+			}
+			return
+		}
+		members := groupMembers[g]
+		perm := make([]int, len(members))
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int)
+		rec = func(k int) {
+			if limit > 0 && len(out) >= limit {
+				return
+			}
+			if k == len(perm) {
+				for i, m := range members {
+					nodes[m].rank = perm[i]
+				}
+				assign(g + 1)
+				return
+			}
+			for i := k; i < len(perm); i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+	}
+	assign(0)
+	return out
+}

@@ -1,0 +1,178 @@
+package sequence
+
+import (
+	"container/heap"
+	"fmt"
+
+	"xseq/internal/xmltree"
+)
+
+// Prüfer codes (Section 2 and the PRIX baseline). A tree of n nodes labeled
+// 0..n-1 is encoded by repeatedly deleting the leaf with the smallest label
+// and appending its parent's label, until one node remains, giving a
+// sequence of length n-1. PRIX numbers nodes in post-order and keeps, next
+// to the numbered Prüfer sequence (NPS), the labels of the emitted parents
+// (the labeled Prüfer sequence, LPS).
+
+// intHeap is a min-heap of ints.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PostorderNodes returns the nodes of the tree in post-order; PRIX numbers
+// node i of this slice with label i.
+func PostorderNodes(root *xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		out = append(out, n)
+	}
+	walk(root)
+	return out
+}
+
+// PruferNumbered computes the Prüfer sequence of the tree under an explicit
+// labeling: labels[i] is the label of the i-th pre-order node and must be a
+// permutation of 0..n-1. It returns the sequence of parent labels of the
+// deleted leaves (length n-1; empty for a single-node tree).
+func PruferNumbered(root *xmltree.Node, labels map[*xmltree.Node]int) ([]int, error) {
+	var nodes []*xmltree.Node
+	parentOf := map[*xmltree.Node]*xmltree.Node{}
+	root.Walk(func(n *xmltree.Node) bool {
+		nodes = append(nodes, n)
+		for _, c := range n.Children {
+			parentOf[c] = n
+		}
+		return true
+	})
+	n := len(nodes)
+	if len(labels) != n {
+		return nil, fmt.Errorf("sequence: prufer: %d labels for %d nodes", len(labels), n)
+	}
+	byLabel := make([]*xmltree.Node, n)
+	for nd, l := range labels {
+		if l < 0 || l >= n || byLabel[l] != nil {
+			return nil, fmt.Errorf("sequence: prufer: labels are not a permutation of 0..%d", n-1)
+		}
+		byLabel[l] = nd
+	}
+	degree := map[*xmltree.Node]int{}
+	for _, nd := range nodes {
+		degree[nd] = len(nd.Children)
+	}
+	h := &intHeap{}
+	for _, nd := range nodes {
+		if degree[nd] == 0 && nd != root {
+			heap.Push(h, labels[nd])
+		}
+	}
+	if n == 1 {
+		return nil, nil
+	}
+	// Rooted variant, as in the paper: delete the smallest-labeled leaf and
+	// append its parent's label until only the root remains (n-1 entries).
+	var seq []int
+	for h.Len() > 0 {
+		l := heap.Pop(h).(int)
+		leaf := byLabel[l]
+		p := parentOf[leaf]
+		seq = append(seq, labels[p])
+		degree[p]--
+		if degree[p] == 0 && p != root {
+			heap.Push(h, labels[p])
+		}
+	}
+	if len(seq) != n-1 {
+		return nil, fmt.Errorf("sequence: prufer: emitted %d entries for %d nodes", len(seq), n)
+	}
+	return seq, nil
+}
+
+// PostorderLabels numbers nodes in post-order, the PRIX labeling.
+func PostorderLabels(root *xmltree.Node) map[*xmltree.Node]int {
+	labels := map[*xmltree.Node]int{}
+	for i, n := range PostorderNodes(root) {
+		labels[n] = i
+	}
+	return labels
+}
+
+// LabeledPrufer computes PRIX's LPS: the node labels (element names or value
+// text) of the parents emitted by the Prüfer deletion under post-order
+// numbering. The i-th LPS entry is the label of the i-th NPS entry's node.
+func LabeledPrufer(root *xmltree.Node) ([]string, []int, error) {
+	labels := PostorderLabels(root)
+	nps, err := PruferNumbered(root, labels)
+	if err != nil {
+		return nil, nil, err
+	}
+	post := PostorderNodes(root)
+	lps := make([]string, len(nps))
+	for i, num := range nps {
+		lps[i] = post[num].Label()
+	}
+	return lps, nps, nil
+}
+
+// PruferDecode reconstructs the parent array of a free tree from a Prüfer
+// sequence over labels 0..n-1 (n = len(seq)+2 in the classic unrooted
+// formulation). It returns parent[i] for each node, with the final node
+// (label n-1) as the root. Used to sanity-check the encoding in tests.
+func PruferDecode(seq []int, n int) ([]int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("sequence: prufer decode: n must be >= 2")
+	}
+	if len(seq) != n-2 {
+		return nil, fmt.Errorf("sequence: prufer decode: sequence length %d, want n-2=%d", len(seq), n-2)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, x := range seq {
+		if x < 0 || x >= n {
+			return nil, fmt.Errorf("sequence: prufer decode: label %d out of range", x)
+		}
+		degree[x]++
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	h := &intHeap{}
+	for i := 0; i < n; i++ {
+		if degree[i] == 1 {
+			heap.Push(h, i)
+		}
+	}
+	for _, x := range seq {
+		leaf := heap.Pop(h).(int)
+		parent[leaf] = x
+		degree[x]--
+		if degree[x] == 1 {
+			heap.Push(h, x)
+		}
+	}
+	// The two remaining nodes connect to each other; make the larger the
+	// parent so label n-1 roots the tree.
+	a := heap.Pop(h).(int)
+	b := heap.Pop(h).(int)
+	if a > b {
+		a, b = b, a
+	}
+	parent[a] = b
+	return parent, nil
+}

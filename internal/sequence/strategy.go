@@ -1,0 +1,432 @@
+package sequence
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/schema"
+	"xseq/internal/xmltree"
+)
+
+// Strategy turns a tree into one constraint sequence. All strategies
+// produced by this package generate sequences valid under constraint f2,
+// emitting every ancestor before its descendants and emitting the whole
+// subtree of a node with identical siblings contiguously before any of its
+// identical siblings (the procedure of Section 2.4 / Algorithm 2).
+type Strategy interface {
+	// Name identifies the strategy ("depth-first", "constraint", ...).
+	Name() string
+	// Sequence produces a constraint sequence for the tree, interning any
+	// new paths into the strategy's encoder.
+	Sequence(root *xmltree.Node) Sequence
+}
+
+// priorityFn scores an encoded node; higher scores are emitted earlier,
+// subject to the constraint. Ties break on (PathID, document order).
+type priorityFn func(n *EncodedNode, idx int) float64
+
+// candidate is a heap item.
+type candidate struct {
+	idx   int // index into the EncodedNode slice
+	prio  float64
+	path  pathenc.PathID
+	order int // document pre-order position, the final tie-break
+}
+
+type candidateHeap []candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	if h[i].path != h[j].path {
+		return h[i].path < h[j].path
+	}
+	return h[i].order < h[j].order
+}
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// blockFn decides whether a node's subtree must be emitted contiguously.
+// At minimum every node with identical siblings blocks (the f2 requirement
+// of Section 2.4); strategies used for querying additionally block every
+// node whose path is repeat-capable anywhere in the corpus, so that data
+// and query sequences stay order-compatible (see RepeatAware).
+type blockFn func(n *EncodedNode) bool
+
+func instanceBlocks(n *EncodedNode) bool { return n.HasIdenticalSibling }
+
+// sequenceWithPriority implements the generic constraint sequencer
+// (Algorithm 2 generalized to an arbitrary priority). It repeatedly emits
+// the highest-priority node whose parent has been emitted; when the emitted
+// node blocks (it has identical siblings, or its path is repeat-capable),
+// its entire subtree is emitted contiguously (recursively by the same
+// priority) before the main loop resumes, which guarantees that none of its
+// identical siblings starts before the subtree is complete — the f2
+// sequencing procedure of Section 2.4.
+func sequenceWithPriority(nodes []EncodedNode, prio priorityFn, blocks blockFn) Sequence {
+	out := make(Sequence, 0, len(nodes))
+	h := &candidateHeap{}
+
+	push := func(idx int) {
+		heap.Push(h, candidate{idx: idx, prio: prio(&nodes[idx], idx), path: nodes[idx].Path, order: idx})
+	}
+
+	// emitSubtree emits idx and its whole subtree contiguously, ordered by
+	// priority within the subtree (its own nested identical siblings
+	// handled by the same rule, which holds trivially since the entire
+	// subtree is contiguous and inner subtrees are emitted by the same
+	// recursive discipline through the local heap).
+	var emitSubtree func(idx int)
+	emitSubtree = func(idx int) {
+		out = append(out, nodes[idx].Path)
+		local := &candidateHeap{}
+		for _, c := range nodes[idx].Children {
+			heap.Push(local, candidate{idx: c, prio: prio(&nodes[c], c), path: nodes[c].Path, order: c})
+		}
+		for local.Len() > 0 {
+			it := heap.Pop(local).(candidate)
+			if blocks(&nodes[it.idx]) {
+				emitSubtree(it.idx)
+				continue
+			}
+			out = append(out, nodes[it.idx].Path)
+			for _, c := range nodes[it.idx].Children {
+				heap.Push(local, candidate{idx: c, prio: prio(&nodes[c], c), path: nodes[c].Path, order: c})
+			}
+		}
+	}
+
+	// Root is index 0 (EncodeNodes is pre-order).
+	out = append(out, nodes[0].Path)
+	for _, c := range nodes[0].Children {
+		push(c)
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(candidate)
+		if blocks(&nodes[it.idx]) {
+			emitSubtree(it.idx)
+			continue
+		}
+		out = append(out, nodes[it.idx].Path)
+		for _, c := range nodes[it.idx].Children {
+			push(c)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Depth-first
+// ---------------------------------------------------------------------------
+
+// DepthFirst is the ad hoc depth-first (pre-order) strategy used by ViST.
+type DepthFirst struct {
+	Enc *pathenc.Encoder
+}
+
+// Name implements Strategy.
+func (DepthFirst) Name() string { return "depth-first" }
+
+// Sequence implements Strategy.
+func (s DepthFirst) Sequence(root *xmltree.Node) Sequence {
+	return DepthFirstSequence(root, s.Enc)
+}
+
+// ---------------------------------------------------------------------------
+// Breadth-first
+// ---------------------------------------------------------------------------
+
+// BreadthFirst emits shallower nodes first. Plain breadth-first order
+// violates constraint f2 in the presence of identical siblings (a second
+// identical sibling would start before the first one's subtree completes),
+// so like every strategy here it falls back to contiguous subtree emission
+// for identical-sibling nodes; with no identical siblings it is exact BFS.
+type BreadthFirst struct {
+	Enc *pathenc.Encoder
+}
+
+// Name implements Strategy.
+func (BreadthFirst) Name() string { return "breadth-first" }
+
+// Sequence implements Strategy.
+func (s BreadthFirst) Sequence(root *xmltree.Node) Sequence {
+	nodes := EncodeNodes(root, s.Enc)
+	return sequenceWithPriority(nodes, func(n *EncodedNode, idx int) float64 {
+		return -float64(s.Enc.Depth(n.Path))
+	}, instanceBlocks)
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+// Random assigns each node an independent random priority, producing an
+// arbitrary constraint sequence — the worst case for prefix sharing
+// (Section 6.2's "random" curve). Deterministic per (Seed, call order).
+type Random struct {
+	Enc *pathenc.Encoder
+	rng *rand.Rand
+}
+
+// NewRandom builds a Random strategy with its own deterministic stream.
+func NewRandom(enc *pathenc.Encoder, seed int64) *Random {
+	return &Random{Enc: enc, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (*Random) Name() string { return "random" }
+
+// Sequence implements Strategy.
+func (s *Random) Sequence(root *xmltree.Node) Sequence {
+	nodes := EncodeNodes(root, s.Enc)
+	prios := make([]float64, len(nodes))
+	for i := range prios {
+		prios[i] = s.rng.Float64()
+	}
+	return sequenceWithPriority(nodes, func(n *EncodedNode, idx int) float64 {
+		return prios[idx]
+	}, instanceBlocks)
+}
+
+// ---------------------------------------------------------------------------
+// Probability-based constraint sequencing (g_best)
+// ---------------------------------------------------------------------------
+
+// RepeatAware is implemented by strategies that can be told which paths are
+// repeat-capable across the corpus. Blocking those paths' subtrees on both
+// the data and the query side keeps sequence orders compatible even when a
+// query references a repeatable path through a single branch; without it, a
+// low-priority node inside a data-side identical-sibling block would appear
+// earlier in the data sequence than global priority predicts, dismissing
+// valid matches. index.Build computes the set with RepeatPaths and installs
+// it before sequencing.
+type RepeatAware interface {
+	SetRepeatPaths(repeat map[pathenc.PathID]bool)
+}
+
+// RepeatPaths scans a corpus and returns every path that occurs as
+// identical siblings in at least one document.
+func RepeatPaths(roots []*xmltree.Node, enc *pathenc.Encoder) map[pathenc.PathID]bool {
+	out := map[pathenc.PathID]bool{}
+	for _, r := range roots {
+		for _, n := range EncodeNodes(r, enc) {
+			if n.HasIdenticalSibling {
+				out[n.Path] = true
+			}
+		}
+	}
+	return out
+}
+
+// Probability is g_best of Section 5: nodes are ordered by descending
+// p'(C|root) = p(C|root) · w(C) from a schema model, maximizing prefix
+// sharing across documents of the same schema and honoring tunable weights.
+type Probability struct {
+	Enc    *pathenc.Encoder
+	Model  *schema.Model
+	repeat map[pathenc.PathID]bool
+	// PerInstanceBlocking reverts to the paper's literal Algorithm 2:
+	// only nodes with identical siblings in the CURRENT document emit
+	// contiguous blocks, ignoring the corpus repeat set. Sequences get
+	// more ordering freedom (smaller indexes — the paper's Table 5
+	// ratios), but on corpora where a path repeats in some documents and
+	// not others, query order compatibility breaks and valid matches can
+	// be dismissed. Kept for the ablation that quantifies the trade-off;
+	// leave false for correct querying.
+	PerInstanceBlocking bool
+}
+
+// NewProbability binds g_best to a schema and encoder.
+func NewProbability(s *schema.Schema, enc *pathenc.Encoder) *Probability {
+	return &Probability{Enc: enc, Model: schema.NewModel(s, enc)}
+}
+
+// Name implements Strategy.
+func (*Probability) Name() string { return "constraint" }
+
+// SetRepeatPaths implements RepeatAware.
+func (s *Probability) SetRepeatPaths(repeat map[pathenc.PathID]bool) { s.repeat = repeat }
+
+// RepeatPaths returns the installed repeat set (nil when none).
+func (s *Probability) RepeatPaths() map[pathenc.PathID]bool { return s.repeat }
+
+// Blocks reports whether a path's subtree is emitted contiguously.
+func (s *Probability) Blocks(p pathenc.PathID) bool {
+	return !s.PerInstanceBlocking && s.repeat[p]
+}
+
+// Sequence implements Strategy.
+func (s *Probability) Sequence(root *xmltree.Node) Sequence {
+	nodes := EncodeNodes(root, s.Enc)
+	return sequenceWithPriority(nodes, func(n *EncodedNode, idx int) float64 {
+		return s.Model.Priority(n.Path)
+	}, func(n *EncodedNode) bool {
+		return n.HasIdenticalSibling || s.Blocks(n.Path)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Enumeration for isomorphic queries (Section 3.2/3.3 false dismissals)
+// ---------------------------------------------------------------------------
+
+// EnumerateSequences generates the distinct sequences a strategy can assign
+// to the tree under permutations of identical-path sibling groups,
+// capped at limit. This realizes the paper's false-dismissal remedy:
+// "regard each of its isomorphism structures as a different query, and
+// union the results". Trees without identical siblings yield exactly one
+// sequence. A limit <= 0 means no cap.
+//
+// Grouping is by sibling label, which coincides with grouping by path
+// encoding: siblings share their parent path, so their paths are identical
+// exactly when their labels are.
+func EnumerateSequences(g Strategy, root *xmltree.Node, limit int) []Sequence {
+	variants := enumerateSiblingOrders(root, limit)
+	seen := map[string]bool{}
+	var out []Sequence
+	for _, v := range variants {
+		s := g.Sequence(v)
+		k := s.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// enumerateSiblingOrders returns clones of root covering all orderings of
+// identical-path sibling groups (other siblings keep their positions).
+func enumerateSiblingOrders(root *xmltree.Node, limit int) []*xmltree.Node {
+	hasGroup := false
+	root.Walk(func(n *xmltree.Node) bool {
+		count := map[string]int{}
+		for _, c := range n.Children {
+			count[childKey(c)]++
+			if count[childKey(c)] > 1 {
+				hasGroup = true
+			}
+		}
+		return !hasGroup
+	})
+	if !hasGroup {
+		return []*xmltree.Node{root.Clone()}
+	}
+	var permute func(orig *xmltree.Node) []*xmltree.Node
+	permute = func(orig *xmltree.Node) []*xmltree.Node {
+		// First enumerate variants of each child subtree.
+		childVariants := make([][]*xmltree.Node, len(orig.Children))
+		for i, c := range orig.Children {
+			childVariants[i] = permute(c)
+		}
+		// Cartesian product of child variants (capped).
+		combos := [][]*xmltree.Node{{}}
+		for _, cvs := range childVariants {
+			var next [][]*xmltree.Node
+			for _, combo := range combos {
+				for _, cv := range cvs {
+					nc := append(append([]*xmltree.Node{}, combo...), cv)
+					next = append(next, nc)
+					if limit > 0 && len(next) >= limit {
+						break
+					}
+				}
+				if limit > 0 && len(next) >= limit {
+					break
+				}
+			}
+			combos = next
+		}
+		// For each combo, permute identical-key sibling groups.
+		var results []*xmltree.Node
+		for _, combo := range combos {
+			for _, perm := range permuteIdenticalGroups(combo, limit) {
+				n := &xmltree.Node{Name: orig.Name, Value: orig.Value, IsValue: orig.IsValue, Children: perm}
+				results = append(results, n)
+				if limit > 0 && len(results) >= limit {
+					return results
+				}
+			}
+		}
+		return results
+	}
+	out := permute(root)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func childKey(c *xmltree.Node) string {
+	if c.IsValue {
+		return "v\x00" + c.Value
+	}
+	return "e\x00" + c.Name
+}
+
+// permuteIdenticalGroups returns orderings of children where members of each
+// identical-key group take every permutation among that group's positions.
+func permuteIdenticalGroups(children []*xmltree.Node, limit int) [][]*xmltree.Node {
+	positions := map[string][]int{}
+	for i, c := range children {
+		k := childKey(c)
+		positions[k] = append(positions[k], i)
+	}
+	results := [][]*xmltree.Node{append([]*xmltree.Node{}, children...)}
+	for _, pos := range positions {
+		if len(pos) < 2 {
+			continue
+		}
+		var next [][]*xmltree.Node
+		for _, base := range results {
+			members := make([]*xmltree.Node, len(pos))
+			for i, p := range pos {
+				members[i] = base[p]
+			}
+			for _, perm := range permutations(members, limit) {
+				v := append([]*xmltree.Node{}, base...)
+				for i, p := range pos {
+					v[p] = perm[i]
+				}
+				next = append(next, v)
+				if limit > 0 && len(next) >= limit {
+					break
+				}
+			}
+			if limit > 0 && len(next) >= limit {
+				break
+			}
+		}
+		results = next
+	}
+	return results
+}
+
+func permutations(items []*xmltree.Node, limit int) [][]*xmltree.Node {
+	var out [][]*xmltree.Node
+	var rec func(cur, rest []*xmltree.Node)
+	rec = func(cur, rest []*xmltree.Node) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if len(rest) == 0 {
+			out = append(out, append([]*xmltree.Node{}, cur...))
+			return
+		}
+		for i := range rest {
+			nr := append(append([]*xmltree.Node{}, rest[:i]...), rest[i+1:]...)
+			rec(append(cur, rest[i]), nr)
+		}
+	}
+	rec(nil, items)
+	return out
+}

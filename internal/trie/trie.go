@@ -1,0 +1,244 @@
+// Package trie implements the trie-like index tree of Section 4.1: document
+// constraint sequences are inserted as root-to-leaf chains (Figure 7),
+// document ids accumulate at each sequence's end node, and Freeze assigns
+// every node the (n⊢, n⊣) interval label of the paper's Tree Labeling step
+// (pre-order serial number and largest descendant serial), so that x is a
+// descendant of y iff x⊢ ∈ (y⊢, y⊣].
+//
+// The node store is struct-of-arrays with a single global child map, keeping
+// per-node overhead small enough for multi-million-node tries.
+package trie
+
+import (
+	"fmt"
+	"sort"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/sequence"
+)
+
+// NodeID identifies a trie node; the root is always 0.
+type NodeID int32
+
+// Root is the id of the virtual root node (path ε).
+const Root NodeID = 0
+
+// None marks the absence of a node.
+const None NodeID = -1
+
+type childKey struct {
+	parent NodeID
+	path   pathenc.PathID
+}
+
+// Trie is the index tree. Build with Insert (or BulkLoad), then Freeze to
+// assign labels; queries require a frozen trie. Not safe for concurrent
+// mutation.
+type Trie struct {
+	parent     []NodeID
+	path       []pathenc.PathID
+	firstChild []NodeID
+	lastChild  []NodeID
+	nextSib    []NodeID
+	child      map[childKey]NodeID
+	docs       map[NodeID][]int32
+
+	pre, max []int32
+	frozen   bool
+	numSeqs  int
+}
+
+// New returns an empty trie holding only the virtual root.
+func New() *Trie {
+	t := &Trie{child: map[childKey]NodeID{}, docs: map[NodeID][]int32{}}
+	t.addNode(None, pathenc.EmptyPath)
+	return t
+}
+
+func (t *Trie) addNode(parent NodeID, p pathenc.PathID) NodeID {
+	id := NodeID(len(t.parent))
+	t.parent = append(t.parent, parent)
+	t.path = append(t.path, p)
+	t.firstChild = append(t.firstChild, None)
+	t.lastChild = append(t.lastChild, None)
+	t.nextSib = append(t.nextSib, None)
+	if parent != None {
+		t.child[childKey{parent, p}] = id
+		if t.firstChild[parent] == None {
+			t.firstChild[parent] = id
+		} else {
+			t.nextSib[t.lastChild[parent]] = id
+		}
+		t.lastChild[parent] = id
+	}
+	return id
+}
+
+// NumNodes reports the node count excluding the virtual root — the metric
+// of Figure 14/15 and Tables 5/6.
+func (t *Trie) NumNodes() int { return len(t.parent) - 1 }
+
+// NumSequences reports how many sequences have been inserted.
+func (t *Trie) NumSequences() int { return t.numSeqs }
+
+// Insert adds one document's constraint sequence, appending docID to the id
+// list of the end node (Figure 7). Insert panics on a frozen trie.
+func (t *Trie) Insert(seq sequence.Sequence, docID int32) {
+	if t.frozen {
+		panic("trie: Insert after Freeze")
+	}
+	cur := Root
+	for _, p := range seq {
+		next, ok := t.child[childKey{cur, p}]
+		if !ok {
+			next = t.addNode(cur, p)
+		}
+		cur = next
+	}
+	t.docs[cur] = append(t.docs[cur], docID)
+	t.numSeqs++
+}
+
+// BulkLoad inserts many sequences after sorting them, which the paper notes
+// improves build performance for static data (shared prefixes insert
+// consecutively). ids[i] is the document id of seqs[i].
+func (t *Trie) BulkLoad(seqs []sequence.Sequence, ids []int32) error {
+	if len(seqs) != len(ids) {
+		return fmt.Errorf("trie: bulk load: %d sequences, %d ids", len(seqs), len(ids))
+	}
+	order := make([]int, len(seqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := seqs[order[a]], seqs[order[b]]
+		for i := 0; i < len(sa) && i < len(sb); i++ {
+			if sa[i] != sb[i] {
+				return sa[i] < sb[i]
+			}
+		}
+		return len(sa) < len(sb)
+	})
+	for _, i := range order {
+		t.Insert(seqs[i], ids[i])
+	}
+	return nil
+}
+
+// Freeze assigns interval labels (pre, max) by an explicit-stack pre-order
+// walk. After Freeze the trie is immutable.
+func (t *Trie) Freeze() {
+	if t.frozen {
+		return
+	}
+	n := len(t.parent)
+	t.pre = make([]int32, n)
+	t.max = make([]int32, n)
+	serial := int32(0)
+	// Iterative DFS; post-processing pass sets max from children.
+	type frame struct {
+		node  NodeID
+		child NodeID // next child to visit
+	}
+	stack := []frame{{Root, t.firstChild[Root]}}
+	t.pre[Root] = 0
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.child == None {
+			t.max[f.node] = serial
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		c := f.child
+		f.child = t.nextSib[c]
+		serial++
+		t.pre[c] = serial
+		stack = append(stack, frame{c, t.firstChild[c]})
+	}
+	t.frozen = true
+}
+
+// Frozen reports whether labels have been assigned.
+func (t *Trie) Frozen() bool { return t.frozen }
+
+// Path returns the path encoding of a node.
+func (t *Trie) Path(n NodeID) pathenc.PathID { return t.path[n] }
+
+// Parent returns the parent node (None for the root).
+func (t *Trie) Parent(n NodeID) NodeID { return t.parent[n] }
+
+// Pre returns n⊢, the pre-order serial. Requires Freeze.
+func (t *Trie) Pre(n NodeID) int32 { return t.pre[n] }
+
+// Max returns n⊣, the largest descendant serial. Requires Freeze.
+func (t *Trie) Max(n NodeID) int32 { return t.max[n] }
+
+// Docs returns the document id list of a node (ids of sequences ending
+// there).
+func (t *Trie) Docs(n NodeID) []int32 { return t.docs[n] }
+
+// Children iterates the children of n in insertion order.
+func (t *Trie) Children(n NodeID, fn func(NodeID) bool) {
+	for c := t.firstChild[n]; c != None; c = t.nextSib[c] {
+		if !fn(c) {
+			return
+		}
+	}
+}
+
+// ChildByPath returns the child of n with the given path, or None.
+func (t *Trie) ChildByPath(n NodeID, p pathenc.PathID) NodeID {
+	if id, ok := t.child[childKey{n, p}]; ok {
+		return id
+	}
+	return None
+}
+
+// WalkPreOrder visits nodes (excluding the virtual root) in pre-order; the
+// callback receives the node and its depth below the root. Returning false
+// stops the walk entirely.
+func (t *Trie) WalkPreOrder(fn func(n NodeID, depth int) bool) {
+	type frame struct {
+		node  NodeID
+		depth int
+	}
+	var stack []frame
+	pushChildren := func(parent NodeID, depth int) {
+		start := len(stack)
+		for c := t.firstChild[parent]; c != None; c = t.nextSib[c] {
+			stack = append(stack, frame{c, depth})
+		}
+		// Reverse the appended run so the first child pops first.
+		for i, j := start, len(stack)-1; i < j; i, j = i+1, j-1 {
+			stack[i], stack[j] = stack[j], stack[i]
+		}
+	}
+	pushChildren(Root, 1)
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(f.node, f.depth) {
+			return
+		}
+		pushChildren(f.node, f.depth+1)
+	}
+}
+
+// IsDescendant reports whether x is a descendant of y (or equal), using the
+// labels: x⊢ ∈ [y⊢, y⊣]. Requires Freeze.
+func (t *Trie) IsDescendant(x, y NodeID) bool {
+	return t.pre[x] >= t.pre[y] && t.pre[x] <= t.max[y]
+}
+
+// DocsInRange appends to out the document ids of every end node whose pre
+// label lies within [lo, hi]. Used by the final step of Algorithm 1
+// ("output document id lists of node v and all nodes under v"). The ids of
+// one node are appended in insertion order; nodes in arbitrary order.
+func (t *Trie) DocsInRange(lo, hi int32, out []int32) []int32 {
+	for n, ids := range t.docs {
+		if t.pre[n] >= lo && t.pre[n] <= hi {
+			out = append(out, ids...)
+		}
+	}
+	return out
+}

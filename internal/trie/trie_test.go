@@ -1,0 +1,276 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/sequence"
+	"xseq/internal/xmltree"
+)
+
+// figure7Paths interns p1..p10 designators for the Figure 7 example.
+func figure7Paths(enc *pathenc.Encoder) map[string]pathenc.PathID {
+	// Build a small path family rooted at p1: the exact shapes are
+	// irrelevant to the trie (it treats paths as opaque), so give each pi
+	// its own chain under p1.
+	m := map[string]pathenc.PathID{}
+	p1 := enc.Extend(pathenc.EmptyPath, enc.ElementSymbol("p1"))
+	m["p1"] = p1
+	for _, name := range []string{"p2", "p7", "p8", "p9", "p10"} {
+		m[name] = enc.Extend(p1, enc.ElementSymbol(name))
+	}
+	return m
+}
+
+func TestInsertSingleSequence(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	m := figure7Paths(enc)
+	tr := New()
+	// Figure 7's sequence ⟨p1, p10, p2, p7, p9, p8⟩ inserted for doc 3.
+	seq := sequence.Sequence{m["p1"], m["p10"], m["p2"], m["p7"], m["p9"], m["p8"]}
+	tr.Insert(seq, 3)
+	if tr.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d want 6", tr.NumNodes())
+	}
+	if tr.NumSequences() != 1 {
+		t.Fatalf("NumSequences = %d", tr.NumSequences())
+	}
+	// Walk down the chain; the end node holds doc id 3.
+	cur := Root
+	for _, p := range seq {
+		cur = tr.ChildByPath(cur, p)
+		if cur == None {
+			t.Fatalf("chain broken at %s", enc.PathString(p))
+		}
+	}
+	ids := tr.Docs(cur)
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("end node docs = %v", ids)
+	}
+}
+
+func TestSharedPrefixes(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	m := figure7Paths(enc)
+	tr := New()
+	tr.Insert(sequence.Sequence{m["p1"], m["p2"], m["p7"]}, 1)
+	tr.Insert(sequence.Sequence{m["p1"], m["p2"], m["p8"]}, 2)
+	tr.Insert(sequence.Sequence{m["p1"], m["p2"]}, 3)
+	// Nodes: p1, p2, p7, p8 = 4 (prefix p1,p2 shared).
+	if tr.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d want 4", tr.NumNodes())
+	}
+	// Doc 3 ends at the interior p2 node.
+	p2node := tr.ChildByPath(tr.ChildByPath(Root, m["p1"]), m["p2"])
+	ids := tr.Docs(p2node)
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("interior docs = %v", ids)
+	}
+}
+
+func TestFreezeLabels(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	m := figure7Paths(enc)
+	tr := New()
+	tr.Insert(sequence.Sequence{m["p1"], m["p2"], m["p7"]}, 1)
+	tr.Insert(sequence.Sequence{m["p1"], m["p2"], m["p8"]}, 2)
+	tr.Insert(sequence.Sequence{m["p1"], m["p9"]}, 3)
+	tr.Freeze()
+	if !tr.Frozen() {
+		t.Fatal("Frozen() = false")
+	}
+	p1 := tr.ChildByPath(Root, m["p1"])
+	p2 := tr.ChildByPath(p1, m["p2"])
+	p7 := tr.ChildByPath(p2, m["p7"])
+	p8 := tr.ChildByPath(p2, m["p8"])
+	p9 := tr.ChildByPath(p1, m["p9"])
+
+	// Pre-order: root=0, p1=1, p2=2, p7=3, p8=4, p9=5.
+	if tr.Pre(p1) != 1 || tr.Pre(p2) != 2 || tr.Pre(p7) != 3 || tr.Pre(p8) != 4 || tr.Pre(p9) != 5 {
+		t.Fatalf("pre labels: p1=%d p2=%d p7=%d p8=%d p9=%d",
+			tr.Pre(p1), tr.Pre(p2), tr.Pre(p7), tr.Pre(p8), tr.Pre(p9))
+	}
+	if tr.Max(p1) != 5 || tr.Max(p2) != 4 || tr.Max(p7) != 3 {
+		t.Fatalf("max labels: p1=%d p2=%d p7=%d", tr.Max(p1), tr.Max(p2), tr.Max(p7))
+	}
+	if tr.Max(Root) != 5 || tr.Pre(Root) != 0 {
+		t.Fatalf("root labels: %d %d", tr.Pre(Root), tr.Max(Root))
+	}
+	// Descendant tests: x⊢ ∈ (y⊢, y⊣].
+	if !tr.IsDescendant(p7, p1) || !tr.IsDescendant(p7, p2) {
+		t.Fatal("p7 should descend from p1 and p2")
+	}
+	if tr.IsDescendant(p9, p2) {
+		t.Fatal("p9 does not descend from p2")
+	}
+}
+
+func TestInsertAfterFreezePanics(t *testing.T) {
+	tr := New()
+	tr.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert after Freeze should panic")
+		}
+	}()
+	tr.Insert(sequence.Sequence{1}, 1)
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	m := figure7Paths(enc)
+	seqs := []sequence.Sequence{
+		{m["p1"], m["p9"]},
+		{m["p1"], m["p2"], m["p7"]},
+		{m["p1"], m["p2"]},
+		{m["p1"], m["p2"], m["p7"]},
+	}
+	ids := []int32{4, 1, 3, 2}
+	a := New()
+	for i := range seqs {
+		a.Insert(seqs[i], ids[i])
+	}
+	b := New()
+	if err := b.BulkLoad(seqs, ids); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	if err := b.BulkLoad(seqs, ids[:1]); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	// Same docs reachable.
+	b.Freeze()
+	all := b.DocsInRange(0, int32(b.NumNodes()), nil)
+	if len(all) != 4 {
+		t.Fatalf("DocsInRange found %d docs", len(all))
+	}
+}
+
+func TestWalkPreOrder(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	m := figure7Paths(enc)
+	tr := New()
+	tr.Insert(sequence.Sequence{m["p1"], m["p2"], m["p7"]}, 1)
+	tr.Insert(sequence.Sequence{m["p1"], m["p9"]}, 2)
+	tr.Freeze()
+	var pres []int32
+	var depths []int
+	tr.WalkPreOrder(func(n NodeID, depth int) bool {
+		pres = append(pres, tr.Pre(n))
+		depths = append(depths, depth)
+		return true
+	})
+	// Pre-order visits serials 1..N in order.
+	for i, p := range pres {
+		if p != int32(i+1) {
+			t.Fatalf("walk out of order: %v", pres)
+		}
+	}
+	wantDepths := []int{1, 2, 3, 2}
+	for i := range wantDepths {
+		if depths[i] != wantDepths[i] {
+			t.Fatalf("depths = %v want %v", depths, wantDepths)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.WalkPreOrder(func(NodeID, int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestDocsInRange(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	m := figure7Paths(enc)
+	tr := New()
+	tr.Insert(sequence.Sequence{m["p1"], m["p2"], m["p7"]}, 1)
+	tr.Insert(sequence.Sequence{m["p1"], m["p2"], m["p8"]}, 2)
+	tr.Insert(sequence.Sequence{m["p1"], m["p9"]}, 3)
+	tr.Freeze()
+	p1 := tr.ChildByPath(Root, m["p1"])
+	p2 := tr.ChildByPath(p1, m["p2"])
+	got := tr.DocsInRange(tr.Pre(p2), tr.Max(p2), nil)
+	if len(got) != 2 {
+		t.Fatalf("docs under p2 = %v", got)
+	}
+	all := tr.DocsInRange(0, tr.Max(Root), nil)
+	if len(all) != 3 {
+		t.Fatalf("all docs = %v", all)
+	}
+}
+
+// Property: for random corpora of sequences, (1) node count equals the
+// number of distinct prefixes, (2) labels satisfy pre ≤ max, child
+// intervals nest strictly inside parents, and sibling intervals are
+// disjoint.
+func TestQuickLabelInvariants(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	df := sequence.DepthFirst{Enc: enc}
+	rng := rand.New(rand.NewSource(55))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		tr := New()
+		prefixes := map[string]bool{}
+		for d := 0; d < 10; d++ {
+			tree := randomTree(r, 4, 3)
+			seq := df.Sequence(tree)
+			tr.Insert(seq, int32(d))
+			key := ""
+			for _, p := range seq {
+				key += "," + enc.PathString(p)
+				prefixes[key] = true
+			}
+		}
+		if tr.NumNodes() != len(prefixes) {
+			return false
+		}
+		tr.Freeze()
+		ok := true
+		tr.WalkPreOrder(func(n NodeID, _ int) bool {
+			if tr.Pre(n) > tr.Max(n) {
+				ok = false
+				return false
+			}
+			parent := tr.Parent(n)
+			if parent != None {
+				if !(tr.Pre(n) > tr.Pre(parent) && tr.Max(n) <= tr.Max(parent)) {
+					ok = false
+					return false
+				}
+			}
+			// Sibling disjointness.
+			var prev NodeID = None
+			tr.Children(n, func(c NodeID) bool {
+				if prev != None && tr.Pre(c) <= tr.Max(prev) {
+					ok = false
+					return false
+				}
+				prev = c
+				return true
+			})
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomTree(rng *rand.Rand, depth, fan int) *xmltree.Node {
+	labels := []string{"A", "B", "C"}
+	n := xmltree.NewElem(labels[rng.Intn(len(labels))])
+	if depth <= 1 {
+		return n
+	}
+	k := rng.Intn(fan + 1)
+	for i := 0; i < k; i++ {
+		n.Children = append(n.Children, randomTree(rng, depth-1, fan))
+	}
+	return n
+}

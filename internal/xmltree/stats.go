@@ -1,0 +1,111 @@
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CorpusStats summarizes a record corpus the way Section 6.1 describes its
+// datasets: record and node counts, depth, fanout, value density, distinct
+// paths, and the identical-sibling rate that decides whether constraint f2
+// is needed.
+type CorpusStats struct {
+	Records       int
+	Nodes         int
+	ValueNodes    int
+	MaxDepth      int
+	AvgNodes      float64
+	AvgDepth      float64
+	MaxFanout     int
+	DistinctPaths int
+	// IdenticalSiblingRecords counts records containing at least one
+	// identical-sibling group (same label under one parent).
+	IdenticalSiblingRecords int
+	// RootNames tallies record types.
+	RootNames map[string]int
+}
+
+// CollectStats scans a corpus.
+func CollectStats(docs []*Document) CorpusStats {
+	s := CorpusStats{RootNames: map[string]int{}}
+	paths := map[string]bool{}
+	totalDepth := 0
+	for _, d := range docs {
+		if d == nil || d.Root == nil {
+			continue
+		}
+		s.Records++
+		s.RootNames[d.Root.Name]++
+		hasIdentical := false
+		var walk func(n *Node, path string, depth int)
+		walk = func(n *Node, path string, depth int) {
+			s.Nodes++
+			if n.IsValue {
+				s.ValueNodes++
+				path += "/=" + n.Value
+			} else {
+				path += "/" + n.Name
+			}
+			paths[path] = true
+			if depth > s.MaxDepth {
+				s.MaxDepth = depth
+			}
+			if len(n.Children) > s.MaxFanout {
+				s.MaxFanout = len(n.Children)
+			}
+			labels := map[string]int{}
+			for _, c := range n.Children {
+				labels[c.Label()]++
+			}
+			for _, cnt := range labels {
+				if cnt > 1 {
+					hasIdentical = true
+				}
+			}
+			for _, c := range n.Children {
+				walk(c, path, depth+1)
+			}
+		}
+		walk(d.Root, "", 1)
+		totalDepth += d.Root.Height()
+		if hasIdentical {
+			s.IdenticalSiblingRecords++
+		}
+	}
+	s.DistinctPaths = len(paths)
+	if s.Records > 0 {
+		s.AvgNodes = float64(s.Nodes) / float64(s.Records)
+		s.AvgDepth = float64(totalDepth) / float64(s.Records)
+	}
+	return s
+}
+
+// String renders the stats as a small report.
+func (s CorpusStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "records             %d\n", s.Records)
+	fmt.Fprintf(&b, "nodes               %d (avg %.1f per record, %.0f%% values)\n",
+		s.Nodes, s.AvgNodes, 100*safeDiv(float64(s.ValueNodes), float64(s.Nodes)))
+	fmt.Fprintf(&b, "depth               max %d, avg %.1f\n", s.MaxDepth, s.AvgDepth)
+	fmt.Fprintf(&b, "max fanout          %d\n", s.MaxFanout)
+	fmt.Fprintf(&b, "distinct paths      %d\n", s.DistinctPaths)
+	fmt.Fprintf(&b, "identical siblings  %.1f%% of records\n",
+		100*safeDiv(float64(s.IdenticalSiblingRecords), float64(s.Records)))
+	names := make([]string, 0, len(s.RootNames))
+	for n := range s.RootNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "root %-15s %d\n", n, s.RootNames[n])
+	}
+	return b.String()
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,59 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollectStatsBasics(t *testing.T) {
+	docs := []*Document{
+		{ID: 0, Root: Figure1()},
+		{ID: 1, Root: Figure4D()}, // identical L siblings
+		{ID: 2, Root: Figure2a()}, // identical D siblings
+	}
+	s := CollectStats(docs)
+	if s.Records != 3 {
+		t.Fatalf("records = %d", s.Records)
+	}
+	wantNodes := Figure1().Size() + Figure4D().Size() + Figure2a().Size()
+	if s.Nodes != wantNodes {
+		t.Fatalf("nodes = %d want %d", s.Nodes, wantNodes)
+	}
+	if s.MaxDepth != 5 { // Figure 1: P/D/U/M/mary
+		t.Fatalf("max depth = %d", s.MaxDepth)
+	}
+	if s.MaxFanout != 4 { // Figure 1's D has M, U, U, L
+		t.Fatalf("max fanout = %d", s.MaxFanout)
+	}
+	if s.IdenticalSiblingRecords != 3 {
+		// Figure 1 has two U siblings too.
+		t.Fatalf("identical-sibling records = %d", s.IdenticalSiblingRecords)
+	}
+	if s.RootNames["P"] != 3 {
+		t.Fatalf("root names = %v", s.RootNames)
+	}
+	if s.ValueNodes == 0 || s.DistinctPaths == 0 {
+		t.Fatalf("values=%d paths=%d", s.ValueNodes, s.DistinctPaths)
+	}
+}
+
+func TestCollectStatsEmptyAndNil(t *testing.T) {
+	s := CollectStats(nil)
+	if s.Records != 0 || s.AvgNodes != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	s2 := CollectStats([]*Document{nil, {ID: 1, Root: nil}})
+	if s2.Records != 0 {
+		t.Fatalf("nil docs counted: %+v", s2)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := CollectStats([]*Document{{ID: 0, Root: Figure1()}})
+	out := s.String()
+	for _, want := range []string{"records", "nodes", "depth", "max fanout", "distinct paths", "identical siblings", "root P"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package xmltree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeHeight(t *testing.T) {
+	f1 := Figure1()
+	// Figure 1: P, xml, R(M(tom), L(newyork)), D(M(johnson), U(M(mary),
+	// N(GUI)), U(N(engine)), L(boston)) = 20 nodes.
+	if got := f1.Size(); got != 20 {
+		t.Fatalf("Figure1 size = %d want 20", got)
+	}
+	// P → D → U → M → mary is the longest chain: height 5.
+	if got := f1.Height(); got != 5 {
+		t.Fatalf("Figure1 height = %d want 5", got)
+	}
+	var nilNode *Node
+	if nilNode.Size() != 0 || nilNode.Height() != 0 {
+		t.Fatal("nil node size/height should be 0")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	orig := Figure1()
+	cp := orig.Clone()
+	if !Equal(orig, cp) {
+		t.Fatal("clone not Equal to original")
+	}
+	cp.Children[1].Name = "CHANGED"
+	if Equal(orig, cp) {
+		t.Fatal("mutating clone affected Equal")
+	}
+	if orig.Children[1].Name != "R" {
+		t.Fatal("mutating clone mutated original")
+	}
+}
+
+func TestEqualOrderSensitive(t *testing.T) {
+	if Equal(Figure5a(), Figure5b()) {
+		t.Fatal("Equal should be order sensitive")
+	}
+	if !Isomorphic(Figure5a(), Figure5b()) {
+		t.Fatal("Figure 5 trees are isomorphic")
+	}
+}
+
+func TestIsomorphicDistinguishes(t *testing.T) {
+	// Figures 3(b) and 3(c) share the same path multiset but are NOT
+	// isomorphic.
+	if Isomorphic(Figure3b(), Figure3c()) {
+		t.Fatal("Figure 3(b) and 3(c) should not be isomorphic")
+	}
+	if !Isomorphic(Figure1(), Figure1()) {
+		t.Fatal("tree not isomorphic to itself")
+	}
+}
+
+func TestSortCanonical(t *testing.T) {
+	a, b := Figure5a(), Figure5b()
+	SortCanonical(a)
+	SortCanonical(b)
+	if !Equal(a, b) {
+		t.Fatal("canonical forms of isomorphic trees differ")
+	}
+}
+
+func TestWalkPreOrder(t *testing.T) {
+	var labels []string
+	Figure2a().Walk(func(n *Node) bool {
+		labels = append(labels, n.Label())
+		return true
+	})
+	want := []string{"P", "R", "D", "L", "D", "M"}
+	if len(labels) != len(want) {
+		t.Fatalf("walk visited %v", labels)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("walk order %v want %v", labels, want)
+		}
+	}
+	// Pruning: skip children of D.
+	var pruned []string
+	Figure2a().Walk(func(n *Node) bool {
+		pruned = append(pruned, n.Label())
+		return n.Name != "D"
+	})
+	if len(pruned) != 4 { // P R D D
+		t.Fatalf("pruned walk visited %v", pruned)
+	}
+}
+
+func TestEmbedsPaperExamples(t *testing.T) {
+	a, b, c := Figure2a(), Figure2b(), Figure2c()
+	if !Embeds(a, b) {
+		t.Fatal("Figure 2(b) should embed in 2(a)")
+	}
+	if Embeds(a, c) {
+		t.Fatal("Figure 2(c) must NOT embed in 2(a) — the paper's false alarm")
+	}
+	// Figure 4: Q not a substructure of D.
+	if Embeds(Figure4D(), Figure4Q()) {
+		t.Fatal("Figure 4 query must not embed in Figure 4 data")
+	}
+	// But each branch separately does.
+	if !Embeds(Figure4D(), NewElem("P", NewElem("L", NewElem("S")))) {
+		t.Fatal("P/L/S should embed in Figure 4 data")
+	}
+	if !Embeds(Figure4D(), NewElem("P", NewElem("L", NewElem("B")))) {
+		t.Fatal("P/L/B should embed in Figure 4 data")
+	}
+}
+
+func TestEmbedsValues(t *testing.T) {
+	doc := Figure1()
+	q := NewElem("P",
+		NewElem("R", NewElem("L", NewValue("newyork"))),
+		NewElem("D", NewElem("L", NewValue("boston"))),
+	)
+	if !Embeds(doc, q) {
+		t.Fatal("query of Section 3.1 should embed in Figure 1")
+	}
+	qWrong := NewElem("P",
+		NewElem("R", NewElem("L", NewValue("boston"))),
+	)
+	if Embeds(doc, qWrong) {
+		t.Fatal("R/L=boston should not embed (boston is under D)")
+	}
+}
+
+func TestEmbedsInjectiveSiblings(t *testing.T) {
+	// Data: P with ONE child D. Pattern: P with TWO D children.
+	data := NewElem("P", NewElem("D"))
+	pat := NewElem("P", NewElem("D"), NewElem("D"))
+	if Embeds(data, pat) {
+		t.Fatal("two pattern siblings must map to distinct data children")
+	}
+	data2 := NewElem("P", NewElem("D"), NewElem("D"))
+	if !Embeds(data2, pat) {
+		t.Fatal("two identical data children should satisfy two pattern siblings")
+	}
+}
+
+func TestEmbedsAnywhere(t *testing.T) {
+	// Pattern rooted below the document root.
+	doc := Figure1()
+	pat := NewElem("U", NewElem("N", NewValue("GUI")))
+	if !Embeds(doc, pat) {
+		t.Fatal("pattern should embed at an interior node")
+	}
+	if EmbedsAtRoot(doc, pat) {
+		t.Fatal("EmbedsAtRoot must pin the pattern root to the document root")
+	}
+	if !EmbedsAtRoot(doc, NewElem("P", NewElem("D"))) {
+		t.Fatal("rooted pattern should embed")
+	}
+}
+
+func TestEmbedsNil(t *testing.T) {
+	if !Embeds(Figure1(), nil) {
+		t.Fatal("nil pattern embeds trivially")
+	}
+	if Embeds(nil, Figure1()) {
+		t.Fatal("nothing embeds in a nil tree")
+	}
+}
+
+func TestEmbedsHardAssignment(t *testing.T) {
+	// A case where greedy candidate assignment fails but backtracking
+	// succeeds: pattern children {A(X), A} and data children {A, A(X)}.
+	data := NewElem("P", NewElem("A"), NewElem("A", NewElem("X")))
+	pat := NewElem("P", NewElem("A", NewElem("X")), NewElem("A"))
+	if !Embeds(data, pat) {
+		t.Fatal("backtracking assignment should find the embedding")
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	src := `<Project id="7">
+	  <Research>
+	    <Location>newyork</Location>
+	  </Research>
+	  <Development><Location>boston</Location></Development>
+	</Project>`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "Project" {
+		t.Fatalf("root = %q", n.Name)
+	}
+	// id attribute becomes a child with a value leaf.
+	var idNode *Node
+	for _, c := range n.Children {
+		if c.Name == "id" {
+			idNode = c
+		}
+	}
+	if idNode == nil || len(idNode.Children) != 1 || idNode.Children[0].Value != "7" {
+		t.Fatalf("attribute conversion wrong: %v", n)
+	}
+	want := NewElem("Project",
+		NewElem("id", NewValue("7")),
+		NewElem("Research", NewElem("Location", NewValue("newyork"))),
+		NewElem("Development", NewElem("Location", NewValue("boston"))),
+	)
+	if !Equal(n, want) {
+		t.Fatalf("parsed tree = %v want %v", n, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"<a><b></a></b>",
+		"<a></a><b></b>",
+		"just text",
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseIgnoresNonElementTokens(t *testing.T) {
+	src := `<?xml version="1.0"?>
+	<!DOCTYPE a>
+	<!-- leading comment -->
+	<a>
+	  <!-- inner comment -->
+	  <?pi data?>
+	  <b>x</b>
+	</a>`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewElem("a", NewElem("b", NewValue("x")))
+	if !Equal(n, want) {
+		t.Fatalf("parsed = %v want %v", n, want)
+	}
+}
+
+func TestParseEntitiesAndCDATA(t *testing.T) {
+	n, err := ParseString(`<a><b>x &amp; y</b><c><![CDATA[<raw>]]></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Children[0].Children[0].Value != "x & y" {
+		t.Fatalf("entity = %q", n.Children[0].Children[0].Value)
+	}
+	if n.Children[1].Children[0].Value != "<raw>" {
+		t.Fatalf("cdata = %q", n.Children[1].Children[0].Value)
+	}
+}
+
+func TestParseWhitespaceHandling(t *testing.T) {
+	src := "<a>\n  <b>x</b>\n</a>"
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Children) != 1 {
+		t.Fatalf("whitespace text kept: %v", n)
+	}
+	n2, err := Parse(strings.NewReader(src), ParseOptions{KeepWhitespaceText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n2.Children) <= 1 {
+		t.Fatalf("KeepWhitespaceText dropped text: %v", n2)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	for _, tree := range []*Node{Figure1(), Figure2a(), Figure3c(), Figure4D()} {
+		var buf bytes.Buffer
+		if err := WriteXML(&buf, tree); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseString(buf.String())
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, buf.String())
+		}
+		if !Equal(tree, back) {
+			t.Fatalf("round trip changed tree:\nwas  %v\ngot  %v\nxml:\n%s", tree, back, buf.String())
+		}
+	}
+}
+
+func TestWriteEscaping(t *testing.T) {
+	tree := NewElem("a", NewValue(`x < y & "z"`))
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tree, back) {
+		t.Fatalf("escaping round trip failed: %q -> %v", buf.String(), back)
+	}
+}
+
+func TestStringCompact(t *testing.T) {
+	got := Figure2c().String()
+	if got != "P(D(L,M))" {
+		t.Fatalf("String = %q", got)
+	}
+	var nilNode *Node
+	if nilNode.String() != "<nil>" {
+		t.Fatalf("nil String = %q", nilNode.String())
+	}
+}
+
+// randomTree builds a random small tree over a tiny label alphabet so that
+// identical siblings and repeated labels are common.
+func randomTree(rng *rand.Rand, maxDepth, maxFan int) *Node {
+	labels := []string{"A", "B", "C"}
+	n := NewElem(labels[rng.Intn(len(labels))])
+	if maxDepth <= 1 {
+		return n
+	}
+	fan := rng.Intn(maxFan + 1)
+	for i := 0; i < fan; i++ {
+		// Never place two value leaves adjacently: XML has no notion of
+		// adjacent text nodes, so such trees cannot round-trip.
+		prevIsValue := len(n.Children) > 0 && n.Children[len(n.Children)-1].IsValue
+		if !prevIsValue && rng.Intn(5) == 0 {
+			n.Children = append(n.Children, NewValue(labels[rng.Intn(len(labels))]))
+		} else {
+			n.Children = append(n.Children, randomTree(rng, maxDepth-1, maxFan))
+		}
+	}
+	return n
+}
+
+// randomSubPattern extracts a random connected sub-pattern of t (a
+// substructure by construction).
+func randomSubPattern(rng *rand.Rand, t *Node) *Node {
+	p := &Node{Name: t.Name, Value: t.Value, IsValue: t.IsValue}
+	for _, c := range t.Children {
+		if rng.Intn(2) == 0 {
+			p.Children = append(p.Children, randomSubPattern(rng, c))
+		}
+	}
+	return p
+}
+
+func TestQuickEmbedsExtractedPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		data := randomTree(r, 4, 3)
+		pat := randomSubPattern(r, data)
+		return Embeds(data, pat) && EmbedsAtRoot(data, pat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIsomorphicInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shuffle := func(n *Node, r *rand.Rand) *Node {
+		cp := n.Clone()
+		var walk func(*Node)
+		walk = func(x *Node) {
+			r.Shuffle(len(x.Children), func(i, j int) {
+				x.Children[i], x.Children[j] = x.Children[j], x.Children[i]
+			})
+			for _, c := range x.Children {
+				walk(c)
+			}
+		}
+		walk(cp)
+		return cp
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		data := randomTree(r, 4, 3)
+		shuf := shuffle(data, r)
+		if !Isomorphic(data, shuf) {
+			return false
+		}
+		// Embedding is invariant under sibling reorder of data.
+		pat := randomSubPattern(r, data)
+		return Embeds(shuf, pat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripXML(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		tree := randomTree(r, 4, 3)
+		var buf bytes.Buffer
+		if err := WriteXML(&buf, tree); err != nil {
+			return false
+		}
+		back, err := ParseString(buf.String())
+		if err != nil {
+			return false
+		}
+		return Equal(tree, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

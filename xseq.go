@@ -1,0 +1,386 @@
+// Package xseq is a sequence-based XML index: it answers tree-pattern
+// (XPath-subset) queries over a corpus of XML records holistically by
+// constraint subsequence matching, with no join operations, no per-document
+// post-processing, and no false alarms — an implementation of Wang & Meng,
+// "On the Sequencing of Tree Structures for XML Indexing", ICDE 2005.
+//
+// The pipeline: each record is transformed into a constraint sequence of
+// path-encoded nodes, ordered by the performance-oriented strategy g_best
+// (descending occurrence probability p'(C|root), derived from a schema
+// inferred from the corpus and optionally re-weighted per element). The
+// sequences go into a trie with interval labels and per-path horizontal
+// links; queries run Algorithm 1's constraint subsequence matching, whose
+// sibling-cover test preserves the equivalence between a structure match
+// and a subsequence match (Theorems 2 and 3).
+//
+// Quick start:
+//
+//	doc, _ := xseq.ParseDocumentString(1, "<P><R><L>newyork</L></R></P>")
+//	ix, _ := xseq.Build([]*xseq.Document{doc}, xseq.Config{})
+//	ids, _ := ix.Query("/P/R/L[text='newyork']")
+//
+// See the examples/ directory for complete programs.
+package xseq
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xseq/internal/index"
+	"xseq/internal/pager"
+	"xseq/internal/pathenc"
+	"xseq/internal/query"
+	"xseq/internal/schema"
+	"xseq/internal/sequence"
+	"xseq/internal/xmltree"
+)
+
+// Document is one indexable XML record.
+type Document struct {
+	id   int32
+	root *xmltree.Node
+}
+
+// ParseDocument reads one XML document from r.
+func ParseDocument(id int32, r io.Reader) (*Document, error) {
+	root, err := xmltree.Parse(r, xmltree.ParseOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Document{id: id, root: root}, nil
+}
+
+// ParseDocumentString is ParseDocument over a string.
+func ParseDocumentString(id int32, src string) (*Document, error) {
+	return ParseDocument(id, strings.NewReader(src))
+}
+
+// ID returns the document id.
+func (d *Document) ID() int32 { return d.id }
+
+// NumNodes reports the node count (elements, attributes, values).
+func (d *Document) NumNodes() int { return d.root.Size() }
+
+// WriteXML serializes the document as XML.
+func (d *Document) WriteXML(w io.Writer) error { return xmltree.WriteXML(w, d.root) }
+
+// String renders the tree in compact single-line form.
+func (d *Document) String() string { return d.root.String() }
+
+// Config tunes index construction.
+type Config struct {
+	// ValueSpace is the range of the attribute-value hash function
+	// (<= 0: 1000, the paper's example). Larger spaces reduce bucket
+	// collisions; Verify-mode queries are exact regardless.
+	ValueSpace int
+	// TextValues selects the paper's second value representation
+	// (Section 2.1): values encode as character-designator sequences,
+	// enabling exact value matching with no hash collisions and prefix
+	// tests ("[text='bos*']") at the cost of longer sequences.
+	TextValues bool
+	// Weights maps slash-separated element name paths ("site/people/
+	// person/age") to the query-frequency/selectivity weight w(C) of
+	// Eq 6. Weighted elements sequence earlier, shrinking the search
+	// space of queries that use them.
+	Weights map[string]float64
+	// BulkLoad sorts sequences before insertion (faster for static data).
+	BulkLoad bool
+	// KeepDocuments retains the corpus, enabling QueryVerified.
+	KeepDocuments bool
+	// InstantiationLimit caps wildcard expansion per query (<= 0: 4096).
+	InstantiationLimit int
+}
+
+// Index is an immutable constraint-sequence index over a corpus.
+type Index struct {
+	ix   *index.Index
+	sch  *schema.Schema
+	pool *pager.Pool
+}
+
+// Build infers a schema from the corpus (probabilities by sampling, as in
+// Section 5.2), applies Config.Weights, sequences every document with
+// g_best, and builds the index.
+func Build(docs []*Document, cfg Config) (*Index, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("xseq: empty corpus")
+	}
+	roots := make([]*xmltree.Node, len(docs))
+	inner := make([]*xmltree.Document, len(docs))
+	for i, d := range docs {
+		if d == nil || d.root == nil {
+			return nil, fmt.Errorf("xseq: nil document at position %d", i)
+		}
+		roots[i] = d.root
+		inner[i] = &xmltree.Document{ID: d.id, Root: d.root}
+	}
+	sch, err := schema.Infer(roots)
+	if err != nil {
+		return nil, fmt.Errorf("xseq: schema inference: %w", err)
+	}
+	for path, w := range cfg.Weights {
+		names := strings.Split(strings.Trim(path, "/"), "/")
+		if err := sch.SetWeightByNamePath(names, w); err != nil {
+			return nil, fmt.Errorf("xseq: weight %q: %w", path, err)
+		}
+	}
+	var enc *pathenc.Encoder
+	if cfg.TextValues {
+		enc = pathenc.NewTextEncoder()
+	} else {
+		enc = pathenc.NewEncoder(cfg.ValueSpace)
+	}
+	strategy := sequence.NewProbability(sch, enc)
+	ix, err := index.Build(inner, index.Options{
+		Encoder:            enc,
+		Strategy:           strategy,
+		BulkLoad:           cfg.BulkLoad,
+		KeepDocuments:      cfg.KeepDocuments,
+		InstantiationLimit: cfg.InstantiationLimit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("xseq: build: %w", err)
+	}
+	return &Index{ix: ix, sch: sch}, nil
+}
+
+// Query answers an XPath-subset query (child and descendant steps,
+// wildcards, branching predicates, value tests), returning matching
+// document ids in ascending order. Value semantics are designator-level:
+// two values in the same hash bucket are indistinguishable; use
+// QueryVerified for exact matching.
+func (ix *Index) Query(q string) ([]int32, error) {
+	pat, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return ix.ix.Query(pat)
+}
+
+// QueryVerified is Query with exact value semantics: every candidate is
+// checked against its stored document. Requires Config.KeepDocuments.
+func (ix *Index) QueryVerified(q string) ([]int32, error) {
+	pat, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return ix.ix.QueryWith(pat, index.QueryOptions{Verify: true})
+}
+
+// QueryLimit is Query that stops after max distinct documents (max <= 0:
+// unlimited). Useful for existence tests and first-page results.
+func (ix *Index) QueryLimit(q string, max int) ([]int32, error) {
+	pat, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return ix.ix.QueryWith(pat, index.QueryOptions{MaxResults: max})
+}
+
+// Explain reports the work a query performed.
+type Explain struct {
+	// Instances is the number of concrete instantiations (wildcard and
+	// descendant expansion) of the pattern.
+	Instances int
+	// Orders is the number of query sequences tried (identical-sibling
+	// order enumeration).
+	Orders int
+	// LinkProbes counts binary-search probes into path links.
+	LinkProbes int64
+	// EntriesScanned counts link entries visited as candidates.
+	EntriesScanned int64
+	// CoverChecks and CoverRejections count sibling-cover constraint
+	// evaluations and the false alarms they eliminated.
+	CoverChecks, CoverRejections int64
+	// Results is the number of distinct documents returned.
+	Results int
+}
+
+// QueryExplain is Query that also returns the work profile.
+func (ix *Index) QueryExplain(q string) ([]int32, Explain, error) {
+	pat, err := query.Parse(q)
+	if err != nil {
+		return nil, Explain{}, err
+	}
+	var st index.QueryStats
+	ids, err := ix.ix.QueryWith(pat, index.QueryOptions{Stats: &st})
+	if err != nil {
+		return nil, Explain{}, err
+	}
+	return ids, Explain{
+		Instances:       st.Instances,
+		Orders:          st.Orders,
+		LinkProbes:      st.LinkProbes,
+		EntriesScanned:  st.EntriesScanned,
+		CoverChecks:     st.CoverChecks,
+		CoverRejections: st.CoverRejections,
+		Results:         st.Results,
+	}, nil
+}
+
+// Stats summarizes the index.
+type Stats struct {
+	// Documents is the corpus size.
+	Documents int
+	// IndexNodes is the trie node count (the paper's index-size metric).
+	IndexNodes int
+	// Links is the number of distinct paths (horizontal links).
+	Links int
+	// EstimatedDiskBytes applies the paper's 4n + 8N sizing formula.
+	EstimatedDiskBytes int64
+}
+
+// Stats returns index statistics.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Documents:          ix.ix.NumDocuments(),
+		IndexNodes:         ix.ix.NumNodes(),
+		Links:              ix.ix.NumLinks(),
+		EstimatedDiskBytes: ix.ix.EstimatedDiskBytes(),
+	}
+}
+
+// SchemaOutline renders the inferred schema as an annotated DTD-like
+// outline with per-node occurrence probabilities — the statistics g_best
+// sequences by. Empty for indexes reconstructed by Load (rebuild to
+// inspect; the schema itself is preserved and used).
+func (ix *Index) SchemaOutline() string {
+	if ix.sch == nil {
+		return ""
+	}
+	return ix.sch.String()
+}
+
+// FetchDocuments returns the stored documents for the given ids (in input
+// order, skipping unknown ids). Requires Config.KeepDocuments.
+func (ix *Index) FetchDocuments(ids []int32) ([]*Document, error) {
+	stored := ix.ix.Documents()
+	if stored == nil {
+		return nil, fmt.Errorf("xseq: FetchDocuments requires Config.KeepDocuments")
+	}
+	byID := make(map[int32]*xmltree.Document, len(stored))
+	for _, d := range stored {
+		byID[d.ID] = d
+	}
+	out := make([]*Document, 0, len(ids))
+	for _, id := range ids {
+		if d, ok := byID[id]; ok {
+			out = append(out, &Document{id: d.ID, root: d.Root})
+		}
+	}
+	return out, nil
+}
+
+// Save serializes the index (designator tables, links, document lists,
+// inferred schema, and — when built with KeepDocuments — the corpus) so it
+// can be reloaded with Load without re-parsing or re-sequencing anything.
+func (ix *Index) Save(w io.Writer) error { return ix.ix.Save(w) }
+
+// Load reconstructs an index written by Save. The loaded index answers
+// queries identically to the original; it is immutable.
+func Load(r io.Reader) (*Index, error) {
+	inner, err := index.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: inner}, nil
+}
+
+// DynamicIndex is an updatable index: documents can be inserted after
+// construction. New documents buffer in a small delta index; queries span
+// main + delta, and the delta folds into the main index on Compact (or
+// automatically once it reaches the compaction threshold). Safe for
+// concurrent use.
+type DynamicIndex struct {
+	d *index.Dynamic
+}
+
+// BuildDynamic builds an updatable index over an initial corpus (which may
+// be empty). threshold is the delta size that triggers automatic
+// compaction (<= 0: 1024).
+func BuildDynamic(initial []*Document, cfg Config, threshold int) (*DynamicIndex, error) {
+	builder := func(inner []*xmltree.Document) (*index.Index, error) {
+		wrapped := make([]*Document, len(inner))
+		for i, d := range inner {
+			wrapped[i] = &Document{id: d.ID, root: d.Root}
+		}
+		ix, err := Build(wrapped, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return ix.ix, nil
+	}
+	inner := make([]*xmltree.Document, len(initial))
+	for i, d := range initial {
+		if d == nil || d.root == nil {
+			return nil, fmt.Errorf("xseq: nil document at position %d", i)
+		}
+		inner[i] = &xmltree.Document{ID: d.id, Root: d.root}
+	}
+	dyn, err := index.NewDynamic(builder, inner, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{d: dyn}, nil
+}
+
+// Insert adds one document; ids must be unique across the index's life.
+func (d *DynamicIndex) Insert(doc *Document) error {
+	if doc == nil || doc.root == nil {
+		return fmt.Errorf("xseq: nil document")
+	}
+	return d.d.Insert(&xmltree.Document{ID: doc.id, Root: doc.root})
+}
+
+// Query answers an XPath-subset query over main + delta.
+func (d *DynamicIndex) Query(q string) ([]int32, error) {
+	pat, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return d.d.Query(pat)
+}
+
+// Compact folds buffered documents into the main index.
+func (d *DynamicIndex) Compact() error { return d.d.Compact() }
+
+// NumDocuments reports the total corpus size including buffered documents.
+func (d *DynamicIndex) NumDocuments() int { return d.d.NumDocuments() }
+
+// PendingDocuments reports how many documents await compaction.
+func (d *DynamicIndex) PendingDocuments() int { return d.d.PendingDocuments() }
+
+// IOStats reports simulated disk I/O counters (all zero until EnablePagedIO).
+type IOStats struct {
+	Reads        int64
+	Hits         int64
+	DiskAccesses int64
+}
+
+// EnablePagedIO lays the index out on simulated 4 KiB pages behind an LRU
+// buffer pool of poolPages pages (<= 0: 256) and starts counting disk
+// accesses. It returns the on-disk page count.
+func (ix *Index) EnablePagedIO(poolPages int) (int64, error) {
+	ix.pool = pager.NewPool(poolPages)
+	return ix.ix.AttachPager(ix.pool)
+}
+
+// DisablePagedIO stops I/O accounting.
+func (ix *Index) DisablePagedIO() {
+	ix.ix.DetachPager()
+	ix.pool = nil
+}
+
+// IO returns the I/O counters accumulated since EnablePagedIO (or the last
+// ResetIO).
+func (ix *Index) IO() IOStats {
+	s := ix.ix.PagerStats()
+	return IOStats{Reads: s.Reads, Hits: s.Hits, DiskAccesses: s.Misses}
+}
+
+// ResetIO zeroes the I/O counters, keeping the buffer pool warm.
+func (ix *Index) ResetIO() { ix.ix.ResetPagerStats() }
+
+// DropIOCache empties the buffer pool (cold-cache measurements).
+func (ix *Index) DropIOCache() { ix.ix.DropPagerCache() }
