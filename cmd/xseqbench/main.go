@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		chart   = flag.Bool("chart", false, "render figure experiments as ASCII charts too")
 		out     = flag.String("out", "", "also write the output to this file")
+		timeout = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -43,7 +45,13 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Queries: *queries, PoolPages: *pool}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Queries: *queries, PoolPages: *pool, Context: ctx}
 	var selected []bench.Experiment
 	if *exps == "all" {
 		selected = bench.All()
@@ -75,6 +83,10 @@ func main() {
 	}
 
 	for _, e := range selected {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+			os.Exit(1)
+		}
 		start := time.Now()
 		tabs, err := e.Run(cfg)
 		if err != nil {

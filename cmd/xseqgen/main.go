@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"xseq/internal/datagen"
 	"xseq/internal/xmltree"
@@ -43,34 +44,52 @@ func main() {
 		fmt.Fprint(os.Stderr, xmltree.CollectStats(docs).String())
 	}
 
+	if err := emit(docs, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "xseqgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// emit writes the corpus to stdout, or crash-safely to path: the XML goes
+// to a temporary file in the target directory, is fsynced, and is
+// atomically renamed into place — an interrupted run never leaves a torn
+// corpus file behind.
+func emit(docs []*xmltree.Document, path string) (err error) {
 	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xseqgen: %v\n", err)
-			os.Exit(1)
+	if path != "" {
+		tmp, terr := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+		if terr != nil {
+			return terr
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "xseqgen: close: %v\n", err)
-				os.Exit(1)
+			if err != nil {
+				tmp.Close()
+				os.Remove(tmp.Name())
 			}
 		}()
-		w = f
+		w = tmp
+		defer func() {
+			if err != nil {
+				return
+			}
+			if err = tmp.Sync(); err != nil {
+				return
+			}
+			if err = tmp.Close(); err != nil {
+				return
+			}
+			err = os.Rename(tmp.Name(), path)
+		}()
 	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "<corpus>")
 	for _, d := range docs {
 		if err := xmltree.WriteXML(bw, d.Root); err != nil {
-			fmt.Fprintf(os.Stderr, "xseqgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	fmt.Fprintln(bw, "</corpus>")
-	if err := bw.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "xseqgen: %v\n", err)
-		os.Exit(1)
-	}
+	return bw.Flush()
 }
 
 func generate(dataset, params string, n int, seed int64, identical bool) ([]*xmltree.Document, error) {

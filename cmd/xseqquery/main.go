@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,13 @@ import (
 	"xseq"
 	"xseq/internal/xmltree"
 )
+
+// fail prints a one-line error and exits non-zero — no partial output
+// follows a parse, limit, corruption, or timeout failure.
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "xseqquery: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -31,52 +39,48 @@ func main() {
 		text    = flag.Bool("text", false, "index values as character sequences (enables [text='p*'] prefix queries)")
 		explain = flag.Bool("explain", false, "print the work profile of each query")
 		schema  = flag.Bool("schema", false, "print the inferred schema outline")
-		saveIdx = flag.String("saveindex", "", "write the built index to this file")
+		saveIdx = flag.String("saveindex", "", "write the built index to this file (crash-safe: temp + fsync + rename)")
 		loadIdx = flag.String("loadindex", "", "load a previously saved index instead of building")
+		timeout = flag.Duration("timeout", 0, "abort build and each query after this duration (0 = no limit)")
 	)
 	flag.Parse()
+
+	// withTimeout derives the deadline context each cancellable phase
+	// (build, every query) runs under.
+	withTimeout := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
 
 	var ix *xseq.Index
 	buildStart := time.Now()
 	switch {
 	case *loadIdx != "":
-		f, err := os.Open(*loadIdx)
+		var err error
+		ix, err = xseq.LoadFile(*loadIdx)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
-			os.Exit(1)
-		}
-		ix, err = xseq.Load(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 	case *data != "":
 		docs, err := loadCorpus(*data)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
-		ix, err = xseq.Build(docs, xseq.Config{KeepDocuments: *verify || *saveIdx != "", TextValues: *text})
+		ctx, cancel := withTimeout()
+		ix, err = xseq.BuildContext(ctx, docs, xseq.Config{KeepDocuments: *verify || *saveIdx != "", TextValues: *text})
+		cancel()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
-			os.Exit(1)
+			fail("build: %v", err)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "xseqquery: one of -data or -loadindex is required")
 		os.Exit(2)
 	}
 	if *saveIdx != "" {
-		f, err := os.Create(*saveIdx)
-		if err == nil {
-			err = ix.Save(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xseqquery: save: %v\n", err)
-			os.Exit(1)
+		if err := ix.SaveFile(*saveIdx); err != nil {
+			fail("save: %v", err)
 		}
 		fmt.Printf("index saved to %s\n", *saveIdx)
 	}
@@ -97,8 +101,7 @@ func main() {
 	if *ioSim {
 		pages, err := ix.EnablePagedIO(*pool)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		fmt.Printf("paged layout: %d pages of 4KiB\n", pages)
 	}
@@ -111,18 +114,19 @@ func main() {
 		var ids []int32
 		var ex xseq.Explain
 		var err error
+		ctx, cancel := withTimeout()
 		switch {
 		case *verify:
-			ids, err = ix.QueryVerified(q)
+			ids, err = ix.QueryVerifiedContext(ctx, q)
 		case *explain:
-			ids, ex, err = ix.QueryExplain(q)
+			ids, ex, err = ix.QueryExplainContext(ctx, q)
 		default:
-			ids, err = ix.Query(q)
+			ids, err = ix.QueryContext(ctx, q)
 		}
+		cancel()
 		elapsed := time.Since(start)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xseqquery: %q: %v\n", q, err)
-			os.Exit(1)
+			fail("%q: %v", q, err)
 		}
 		fmt.Printf("\nquery  %s\n", q)
 		fmt.Printf("hits   %d in %v\n", len(ids), elapsed.Round(time.Microsecond))

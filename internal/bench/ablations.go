@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -52,13 +53,13 @@ func AblationPool(cfg Config) ([]*Table, error) {
 		}
 		// Warm-pool measurement: one pass to warm, one measured pass.
 		for _, p := range pats {
-			if _, err := ix.Query(p); err != nil {
+			if _, err := ix.QueryContext(cfg.ctx(), p); err != nil {
 				return nil, err
 			}
 		}
 		ix.ResetPagerStats()
 		for _, p := range pats {
-			if _, err := ix.Query(p); err != nil {
+			if _, err := ix.QueryContext(cfg.ctx(), p); err != nil {
 				return nil, err
 			}
 		}
@@ -103,7 +104,7 @@ func AblationValueSpace(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			ids, err := ix.Query(pat)
+			ids, err := ix.QueryContext(cfg.ctx(), pat)
 			if err != nil {
 				return nil, err
 			}
@@ -171,7 +172,7 @@ func AblationEnumeration(cfg Config) ([]*Table, error) {
 		answers := 0
 		start := time.Now()
 		for _, p := range pats {
-			ids, err := ix.Query(p)
+			ids, err := ix.QueryContext(cfg.ctx(), p)
 			if err != nil {
 				return nil, err
 			}
@@ -240,7 +241,7 @@ func AblationBlocking(cfg Config) ([]*Table, error) {
 		}
 		answers, truth := 0, 0
 		for _, p := range pats {
-			ids, err := ix.Query(p)
+			ids, err := ix.QueryContext(cfg.ctx(), p)
 			if err != nil {
 				return nil, err
 			}
@@ -320,10 +321,10 @@ func AblationBuild(cfg Config) ([]*Table, error) {
 	}
 	// Dynamic: insert everything through the updatable wrapper, compacting
 	// at the default threshold, then force a final compaction.
-	builder := func(ds []*xmltree.Document) (*index.Index, error) {
+	builder := func(ctx context.Context, ds []*xmltree.Document) (*index.Index, error) {
 		enc := pathenc.NewEncoder(0)
 		st := sequence.NewProbability(sch, enc)
-		return index.Build(ds, index.Options{Encoder: enc, Strategy: st})
+		return index.BuildContext(ctx, ds, index.Options{Encoder: enc, Strategy: st})
 	}
 	start := time.Now()
 	dyn, err := index.NewDynamic(builder, nil, n/4)
@@ -331,7 +332,7 @@ func AblationBuild(cfg Config) ([]*Table, error) {
 		return nil, err
 	}
 	for _, d := range docs {
-		if err := dyn.Insert(d); err != nil {
+		if err := dyn.InsertContext(cfg.ctx(), d); err != nil {
 			return nil, err
 		}
 	}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -26,6 +27,27 @@ type Config struct {
 	// Queries is the number of random queries per measurement point in the
 	// query-performance experiments (<= 0: 50).
 	Queries int
+	// Context, when non-nil, bounds the run: index builds and query loops
+	// abort with its error once it is cancelled or its deadline passes
+	// (xseqbench -timeout wires it).
+	Context context.Context
+}
+
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
+// poll reports the Context's error; experiments call it at measurement
+// boundaries (and strided inside sequencing loops) so a -timeout deadline
+// aborts long runs promptly instead of only between experiments.
+func (c Config) poll() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
 }
 
 func (c Config) scale() float64 {

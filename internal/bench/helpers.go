@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -131,11 +132,15 @@ func randomQueries(rng *rand.Rand, docs []*xmltree.Document, size, n int) []*que
 }
 
 // timeQueries runs fn once per query and returns the total elapsed time
-// and the total result count.
-func timeQueries(pats []*query.Pattern, fn func(*query.Pattern) ([]int32, error)) (time.Duration, int, error) {
+// and the total result count. ctx is polled between queries so a deadline
+// (xseqbench -timeout) aborts the measurement loop.
+func timeQueries(ctx context.Context, pats []*query.Pattern, fn func(*query.Pattern) ([]int32, error)) (time.Duration, int, error) {
 	start := time.Now()
 	results := 0
 	for _, p := range pats {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
 		ids, err := fn(p)
 		if err != nil {
 			return 0, 0, fmt.Errorf("query %s: %w", p, err)

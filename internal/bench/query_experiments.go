@@ -54,7 +54,7 @@ func Table7(cfg Config) ([]*Table, error) {
 		}
 		ix.DropPagerCache()
 		start := time.Now()
-		ids, err := ix.Query(pat)
+		ids, err := ix.QueryContext(cfg.ctx(), pat)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +116,7 @@ func Table8(cfg Config) ([]*Table, error) {
 			return len(ids), err
 		})
 		tCS, _ := timeOne(func() (int, error) {
-			ids, err := cs.Query(pat)
+			ids, err := cs.QueryContext(cfg.ctx(), pat)
 			return len(ids), err
 		})
 		t.AddRow(q.name, tPaths, tNodes, tCS, nPaths)
@@ -160,7 +160,7 @@ func Figure16a(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		pats := randomQueries(rng, sub, 5, cfg.queries())
-		total, results, err := timeQueries(pats, ix.Query)
+		total, results, err := timeQueries(cfg.ctx(), pats, func(p *query.Pattern) ([]int32, error) { return ix.QueryContext(cfg.ctx(), p) })
 		if err != nil {
 			return nil, err
 		}
@@ -199,11 +199,11 @@ func Figure16b(cfg Config) ([]*Table, error) {
 		if len(pats) == 0 {
 			continue
 		}
-		vTotal, _, err := timeQueries(pats, vist.Query)
+		vTotal, _, err := timeQueries(cfg.ctx(), pats, vist.Query)
 		if err != nil {
 			return nil, err
 		}
-		cTotal, _, err := timeQueries(pats, ix.Query)
+		cTotal, _, err := timeQueries(cfg.ctx(), pats, func(p *query.Pattern) ([]int32, error) { return ix.QueryContext(cfg.ctx(), p) })
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +264,7 @@ func figure16IO(cfg Config, id string, identicalPct int) ([]*Table, error) {
 		start := time.Now()
 		for _, p := range pats {
 			ix.DropPagerCache()
-			if _, err := ix.Query(p); err != nil {
+			if _, err := ix.QueryContext(cfg.ctx(), p); err != nil {
 				return nil, err
 			}
 			pages += ix.PagerStats().DiskAccesses()

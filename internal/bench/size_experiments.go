@@ -52,10 +52,18 @@ func figure14(cfg Config, id string, params datagen.SynthParams) ([]*Table, erro
 	for si, st := range strategies {
 		seqs[si] = make([]sequence.Sequence, len(docs))
 		for di, d := range docs {
+			if di%256 == 0 {
+				if err := cfg.poll(); err != nil {
+					return nil, err
+				}
+			}
 			seqs[si][di] = st.Sequence(d.Root)
 		}
 	}
 	for _, n := range sizes {
+		if err := cfg.poll(); err != nil {
+			return nil, err
+		}
 		row := []interface{}{n}
 		for si := range strategies {
 			tr := trie.New()
@@ -82,6 +90,9 @@ func Figure15(cfg Config) ([]*Table, error) {
 		Header: []string{"I%", "depth-first", "constraint", "CS/DF"},
 	}
 	for i := 0; i <= 100; i += 20 {
+		if err := cfg.poll(); err != nil {
+			return nil, err
+		}
 		params := datagen.SynthParams{L: 3, F: 5, A: 25, I: i, P: 40, Seed: cfg.Seed}
 		sch, docs, err := datagen.Synth(params, nDocs)
 		if err != nil {
@@ -134,10 +145,18 @@ func xmarkSizeTable(cfg Config, id string, identical bool, paperRecords []int) (
 	dfSeqs := make([]sequence.Sequence, len(docs))
 	csSeqs := make([]sequence.Sequence, len(docs))
 	for i, d := range docs {
+		if i%256 == 0 {
+			if err := cfg.poll(); err != nil {
+				return nil, err
+			}
+		}
 		dfSeqs[i] = strategies[2].Sequence(d.Root)
 		csSeqs[i] = strategies[3].Sequence(d.Root)
 	}
 	for _, n := range sizes {
+		if err := cfg.poll(); err != nil {
+			return nil, err
+		}
 		dfTrie, csTrie := trie.New(), trie.New()
 		nodes := 0
 		for i := 0; i < n; i++ {
@@ -178,6 +197,9 @@ func CompressionRatios(cfg Config) ([]*Table, error) {
 		Header: []string{"strategy", "trie nodes", "index bytes (4n+8N)", "ratio"},
 	}
 	for _, st := range strategies {
+		if err := cfg.poll(); err != nil {
+			return nil, err
+		}
 		nodes := trieNodeCount(docs, st)
 		indexBytes := 4*int64(nDocs) + 8*int64(nodes)
 		t.AddRow(st.Name(), nodes, indexBytes, float64(indexBytes)/float64(dataBytes))

@@ -1,0 +1,230 @@
+// Package faultio provides fault-injection primitives for resilience
+// testing: readers and writers that fail, truncate, or short-write at a
+// chosen point, call-count triggers, stream corrupters, and flaky/panicky
+// wrappers for index.Builder. Production code never imports this package;
+// tests use it to prove that every failure path — torn persistence writes,
+// truncated or bit-flipped load streams, builders that die mid-compaction —
+// degrades gracefully instead of corrupting state or crashing.
+package faultio
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync/atomic"
+
+	"xseq/internal/index"
+	"xseq/internal/xmltree"
+)
+
+// ErrInjected is the default error injected by the fault primitives.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// Trigger fires on the Nth hit (1-based): Hit returns true on hit number N
+// and on every later hit. A Trigger with N <= 0 never fires. Safe for
+// concurrent use.
+type Trigger struct {
+	n    int64
+	hits atomic.Int64
+}
+
+// After returns a Trigger firing from the nth Hit on.
+func After(n int) *Trigger { return &Trigger{n: int64(n)} }
+
+// Hit records one event and reports whether the trigger has fired.
+func (t *Trigger) Hit() bool {
+	if t == nil || t.n <= 0 {
+		return false
+	}
+	return t.hits.Add(1) >= t.n
+}
+
+// Hits reports how many events have been recorded.
+func (t *Trigger) Hits() int { return int(t.hits.Load()) }
+
+// Reset rearms the trigger.
+func (t *Trigger) Reset() { t.hits.Store(0) }
+
+// FailingReader reads from R and returns Err (default ErrInjected) after
+// Limit bytes have been delivered.
+type FailingReader struct {
+	R     io.Reader
+	Limit int64
+	Err   error
+	read  int64
+}
+
+func (f *FailingReader) Read(p []byte) (int, error) {
+	if f.read >= f.Limit {
+		return 0, f.err()
+	}
+	if int64(len(p)) > f.Limit-f.read {
+		p = p[:f.Limit-f.read]
+	}
+	n, err := f.R.Read(p)
+	f.read += int64(n)
+	return n, err
+}
+
+func (f *FailingReader) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// TruncatingReader reads from R and reports a clean EOF after Limit bytes —
+// a stream cut short by a crash.
+type TruncatingReader struct {
+	R     io.Reader
+	Limit int64
+	read  int64
+}
+
+func (t *TruncatingReader) Read(p []byte) (int, error) {
+	if t.read >= t.Limit {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > t.Limit-t.read {
+		p = p[:t.Limit-t.read]
+	}
+	n, err := t.R.Read(p)
+	t.read += int64(n)
+	return n, err
+}
+
+// FailingWriter forwards to W and returns Err (default ErrInjected) once
+// Limit bytes have been accepted; the failing call writes the bytes that
+// fit and reports the error — a disk that fills or dies mid-write.
+type FailingWriter struct {
+	W       io.Writer
+	Limit   int64
+	Err     error
+	written int64
+}
+
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	room := f.Limit - f.written
+	if room <= 0 {
+		return 0, f.err()
+	}
+	if int64(len(p)) <= room {
+		n, err := f.W.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	n, err := f.W.Write(p[:room])
+	f.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, f.err()
+}
+
+func (f *FailingWriter) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// TruncatingWriter silently discards everything beyond Limit bytes while
+// reporting full success — a torn write that nobody noticed (the classic
+// fsync-less crash artifact). Written reports how many bytes actually
+// landed.
+type TruncatingWriter struct {
+	W       io.Writer
+	Limit   int64
+	written int64
+}
+
+func (t *TruncatingWriter) Write(p []byte) (int, error) {
+	room := t.Limit - t.written
+	if room > 0 {
+		q := p
+		if int64(len(q)) > room {
+			q = q[:room]
+		}
+		n, err := t.W.Write(q)
+		t.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	return len(p), nil
+}
+
+// Written reports the bytes actually forwarded to W.
+func (t *TruncatingWriter) Written() int64 { return t.written }
+
+// ShortWriter forwards at most Chunk bytes per call and reports the short
+// count without an error, exercising callers' io.ErrShortWrite handling.
+type ShortWriter struct {
+	W     io.Writer
+	Chunk int
+}
+
+func (s *ShortWriter) Write(p []byte) (int, error) {
+	if s.Chunk > 0 && len(p) > s.Chunk {
+		p = p[:s.Chunk]
+	}
+	return s.W.Write(p)
+}
+
+// FlipBit returns a copy of b with bit (i mod 8) of byte (i/8 mod len)
+// inverted — a deterministic single-bit corruption.
+func FlipBit(b []byte, i int) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := append([]byte(nil), b...)
+	out[(i/8)%len(out)] ^= 1 << (i % 8)
+	return out
+}
+
+// FlakyBuilder wraps an index.Builder so that every call counted by trig
+// from its firing point on fails with err (default ErrInjected) instead of
+// building. Calls before the trigger fires pass through.
+func FlakyBuilder(b index.Builder, trig *Trigger, err error) index.Builder {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(ctx context.Context, docs []*xmltree.Document) (*index.Index, error) {
+		if trig.Hit() {
+			return nil, err
+		}
+		return b(ctx, docs)
+	}
+}
+
+// FlakyBuilderN is FlakyBuilder failing only while the trigger count is
+// within [from, to] (1-based, inclusive): fail a window of calls, then
+// recover — a transiently sick dependency.
+func FlakyBuilderN(b index.Builder, from, to int, err error) index.Builder {
+	if err == nil {
+		err = ErrInjected
+	}
+	var calls atomic.Int64
+	return func(ctx context.Context, docs []*xmltree.Document) (*index.Index, error) {
+		c := int(calls.Add(1))
+		if c >= from && c <= to {
+			return nil, err
+		}
+		return b(ctx, docs)
+	}
+}
+
+// PanickyBuilder wraps an index.Builder so calls counted by trig from its
+// firing point on panic with value v — the worst-case builder failure a
+// resilient caller must contain.
+func PanickyBuilder(b index.Builder, trig *Trigger, v any) index.Builder {
+	if v == nil {
+		v = "faultio: injected panic"
+	}
+	return func(ctx context.Context, docs []*xmltree.Document) (*index.Index, error) {
+		if trig.Hit() {
+			panic(v)
+		}
+		return b(ctx, docs)
+	}
+}

@@ -1,0 +1,158 @@
+package faultio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"xseq/internal/index"
+	"xseq/internal/xmltree"
+)
+
+func TestTrigger(t *testing.T) {
+	trig := After(3)
+	if trig.Hit() || trig.Hit() {
+		t.Fatal("trigger fired before N")
+	}
+	if !trig.Hit() {
+		t.Fatal("trigger did not fire on hit N")
+	}
+	if !trig.Hit() {
+		t.Fatal("trigger must stay fired")
+	}
+	if trig.Hits() != 4 {
+		t.Fatalf("hits = %d, want 4", trig.Hits())
+	}
+	trig.Reset()
+	if trig.Hit() {
+		t.Fatal("reset trigger fired immediately")
+	}
+
+	var never *Trigger
+	if never.Hit() {
+		t.Fatal("nil trigger fired")
+	}
+	if After(0).Hit() {
+		t.Fatal("zero trigger fired")
+	}
+}
+
+func TestFailingReader(t *testing.T) {
+	r := &FailingReader{R: strings.NewReader("hello world"), Limit: 5}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q before failing", got)
+	}
+}
+
+func TestTruncatingReader(t *testing.T) {
+	r := &TruncatingReader{R: strings.NewReader("hello world"), Limit: 5}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("truncation must be a clean EOF, got %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q, want truncated prefix", got)
+	}
+}
+
+func TestFailingWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FailingWriter{W: &buf, Limit: 5}
+	n, err := w.Write([]byte("hello world"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 5 || buf.String() != "hello" {
+		t.Fatalf("accepted %d bytes (%q), want the 5 that fit", n, buf.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatal("writer must keep failing")
+	}
+}
+
+func TestTruncatingWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &TruncatingWriter{W: &buf, Limit: 5}
+	n, err := w.Write([]byte("hello world"))
+	if err != nil || n != len("hello world") {
+		t.Fatalf("torn write must report success, got n=%d err=%v", n, err)
+	}
+	if buf.String() != "hello" || w.Written() != 5 {
+		t.Fatalf("landed %q (%d bytes), want 5-byte prefix", buf.String(), w.Written())
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &ShortWriter{W: &buf, Chunk: 3}
+	n, err := w.Write([]byte("hello"))
+	if err != nil || n != 3 {
+		t.Fatalf("short write: n=%d err=%v, want 3,nil", n, err)
+	}
+	// io.Copy style loops recover from short writes via repeated calls.
+	if _, err := io.Copy(struct{ io.Writer }{w}, strings.NewReader("hello world")); err != io.ErrShortWrite {
+		t.Fatalf("io.Copy over a bare short writer should report ErrShortWrite, got %v", err)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	orig := []byte{0x00, 0xFF}
+	mut := FlipBit(orig, 9) // bit 1 of byte 1
+	if bytes.Equal(orig, mut) {
+		t.Fatal("no bit flipped")
+	}
+	if mut[1] != 0xFD {
+		t.Fatalf("byte = %02x, want FD", mut[1])
+	}
+	if orig[1] != 0xFF {
+		t.Fatal("FlipBit mutated its input")
+	}
+	if FlipBit(nil, 3) != nil {
+		t.Fatal("empty input should stay nil")
+	}
+}
+
+func okBuilder(t *testing.T) index.Builder {
+	t.Helper()
+	return func(ctx context.Context, docs []*xmltree.Document) (*index.Index, error) {
+		return nil, nil
+	}
+}
+
+func TestFlakyBuilder(t *testing.T) {
+	b := FlakyBuilder(okBuilder(t), After(2), nil)
+	if _, err := b(context.Background(), nil); err != nil {
+		t.Fatalf("first call should pass: %v", err)
+	}
+	if _, err := b(context.Background(), nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second call should fail, got %v", err)
+	}
+}
+
+func TestFlakyBuilderN(t *testing.T) {
+	b := FlakyBuilderN(okBuilder(t), 2, 3, nil)
+	for i, wantErr := range []bool{false, true, true, false} {
+		_, err := b(context.Background(), nil)
+		if (err != nil) != wantErr {
+			t.Fatalf("call %d: err=%v, wantErr=%v", i+1, err, wantErr)
+		}
+	}
+}
+
+func TestPanickyBuilder(t *testing.T) {
+	b := PanickyBuilder(okBuilder(t), After(1), "boom")
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	b(context.Background(), nil)
+	t.Fatal("builder did not panic")
+}

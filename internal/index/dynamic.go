@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,6 +19,12 @@ import (
 // both sides independently.
 //
 // Dynamic is safe for concurrent use; Insert and Query may interleave.
+//
+// Dynamic is failure-safe: a Builder that returns an error or panics during
+// compaction (or delta construction) never disturbs the serving state — the
+// old main index and buffer stay exactly as they were, the failure is
+// surfaced as a *CompactionError, and compaction is retried once the buffer
+// grows by another threshold.
 type Dynamic struct {
 	build Builder
 
@@ -28,12 +35,33 @@ type Dynamic struct {
 	delta     *Index // nil when dirty or buffer empty
 	seen      map[int32]bool
 	threshold int
+	compactAt int // buffer size that triggers the next auto-compaction
+	lastErr   error
 }
 
 // Builder constructs an index over a corpus; Dynamic calls it for the
-// initial corpus, for delta rebuilds, and for compactions. The returned
-// index must answer queries (prioritized strategy).
-type Builder func(docs []*xmltree.Document) (*Index, error)
+// initial corpus, for delta rebuilds, and for compactions, passing through
+// the caller's context. The returned index must answer queries (prioritized
+// strategy).
+type Builder func(ctx context.Context, docs []*xmltree.Document) (*Index, error)
+
+// CompactionError reports that folding the delta into the main index
+// failed (Builder error or panic). The index is still fully serviceable:
+// the previous main index and the buffered documents are untouched, queries
+// keep answering exactly as before the attempt, and compaction is retried
+// automatically at the next threshold crossing.
+type CompactionError struct {
+	// Docs is the corpus size of the failed rebuild.
+	Docs int
+	// Err is the Builder failure (a recovered panic is wrapped in an error).
+	Err error
+}
+
+func (e *CompactionError) Error() string {
+	return fmt.Sprintf("index: compaction of %d documents failed (still serving pre-compaction state): %v", e.Docs, e.Err)
+}
+
+func (e *CompactionError) Unwrap() error { return e.Err }
 
 // DefaultCompactThreshold is the delta size that triggers automatic
 // compaction (relative to nothing — an absolute document count; deltas stay
@@ -49,7 +77,7 @@ func NewDynamic(build Builder, initial []*xmltree.Document, threshold int) (*Dyn
 	if threshold <= 0 {
 		threshold = DefaultCompactThreshold
 	}
-	d := &Dynamic{build: build, seen: map[int32]bool{}, threshold: threshold}
+	d := &Dynamic{build: build, seen: map[int32]bool{}, threshold: threshold, compactAt: threshold}
 	for _, doc := range initial {
 		if doc == nil {
 			return nil, fmt.Errorf("index: nil initial document")
@@ -60,7 +88,7 @@ func NewDynamic(build Builder, initial []*xmltree.Document, threshold int) (*Dyn
 		d.seen[doc.ID] = true
 	}
 	if len(initial) > 0 {
-		main, err := build(initial)
+		main, err := d.safeBuild(context.Background(), initial)
 		if err != nil {
 			return nil, err
 		}
@@ -70,10 +98,30 @@ func NewDynamic(build Builder, initial []*xmltree.Document, threshold int) (*Dyn
 	return d, nil
 }
 
-// Insert adds one document. The delta index is invalidated and rebuilt on
-// the next query; when the delta exceeds the compaction threshold the whole
-// index is rebuilt inline.
+// safeBuild runs the Builder, converting a panic into an error so a faulty
+// Builder can never tear down a serving Dynamic.
+func (d *Dynamic) safeBuild(ctx context.Context, docs []*xmltree.Document) (ix *Index, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("index: builder panic: %v", r)
+		}
+	}()
+	return d.build(ctx, docs)
+}
+
+// Insert adds one document; it is InsertContext with context.Background().
 func (d *Dynamic) Insert(doc *xmltree.Document) error {
+	return d.InsertContext(context.Background(), doc)
+}
+
+// InsertContext adds one document. The delta index is invalidated and
+// rebuilt on the next query; when the delta reaches the compaction
+// watermark the whole index is rebuilt inline under ctx.
+//
+// If that automatic compaction fails, the document is still inserted (it
+// remains buffered and queryable) and the failure is returned as a
+// *CompactionError; the rebuild is retried after threshold further inserts.
+func (d *Dynamic) InsertContext(ctx context.Context, doc *xmltree.Document) error {
 	if doc == nil || doc.Root == nil {
 		return fmt.Errorf("index: nil document")
 	}
@@ -85,17 +133,29 @@ func (d *Dynamic) Insert(doc *xmltree.Document) error {
 	d.seen[doc.ID] = true
 	d.buffer = append(d.buffer, doc)
 	d.delta = nil
-	if len(d.buffer) >= d.threshold {
-		return d.compactLocked()
+	if len(d.buffer) >= d.compactAt {
+		if err := d.compactLocked(ctx); err != nil {
+			// Keep serving the old state; back off one threshold before
+			// the next automatic attempt.
+			d.compactAt = len(d.buffer) + d.threshold
+			return err
+		}
 	}
 	return nil
 }
 
-// Query answers a pattern over main + delta, ids ascending.
+// Query answers a pattern over main + delta, ids ascending; it is
+// QueryContext with context.Background().
 func (d *Dynamic) Query(pat *query.Pattern) ([]int32, error) {
+	return d.QueryContext(context.Background(), pat)
+}
+
+// QueryContext answers a pattern over main + delta, ids ascending,
+// honouring ctx both in the lazy delta rebuild and in the match loops.
+func (d *Dynamic) QueryContext(ctx context.Context, pat *query.Pattern) ([]int32, error) {
 	d.mu.Lock()
 	if d.delta == nil && len(d.buffer) > 0 {
-		delta, err := d.build(d.buffer)
+		delta, err := d.safeBuild(ctx, d.buffer)
 		if err != nil {
 			d.mu.Unlock()
 			return nil, err
@@ -107,14 +167,14 @@ func (d *Dynamic) Query(pat *query.Pattern) ([]int32, error) {
 
 	var out []int32
 	if main != nil {
-		ids, err := main.Query(pat)
+		ids, err := main.QueryContext(ctx, pat)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, ids...)
 	}
 	if delta != nil {
-		ids, err := delta.Query(pat)
+		ids, err := delta.QueryContext(ctx, pat)
 		if err != nil {
 			return nil, err
 		}
@@ -124,27 +184,50 @@ func (d *Dynamic) Query(pat *query.Pattern) ([]int32, error) {
 	return out, nil
 }
 
-// Compact folds the delta into a fresh main index.
+// Compact folds the delta into a fresh main index; it is CompactContext
+// with context.Background().
 func (d *Dynamic) Compact() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.compactLocked()
+	return d.CompactContext(context.Background())
 }
 
-func (d *Dynamic) compactLocked() error {
+// CompactContext folds the delta into a fresh main index under ctx. On
+// failure it returns a *CompactionError and leaves the serving state (main
+// index and buffer) untouched.
+func (d *Dynamic) CompactContext(ctx context.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactLocked(ctx)
+}
+
+// compactLocked rebuilds main over mainDocs + buffer. All serving state is
+// replaced atomically only after a successful build; any failure (error,
+// panic, cancellation) leaves it untouched.
+func (d *Dynamic) compactLocked(ctx context.Context) error {
 	if len(d.buffer) == 0 {
 		return nil
 	}
 	all := append(append([]*xmltree.Document{}, d.mainDocs...), d.buffer...)
-	main, err := d.build(all)
+	main, err := d.safeBuild(ctx, all)
 	if err != nil {
-		return err
+		cerr := &CompactionError{Docs: len(all), Err: err}
+		d.lastErr = cerr
+		return cerr
 	}
 	d.main = main
 	d.mainDocs = all
 	d.buffer = nil
 	d.delta = nil
+	d.compactAt = d.threshold
+	d.lastErr = nil
 	return nil
+}
+
+// LastCompactionError returns the most recent compaction failure, or nil
+// after a successful compaction (or if none ever failed).
+func (d *Dynamic) LastCompactionError() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lastErr
 }
 
 // NumDocuments reports the total corpus size (main + buffered).

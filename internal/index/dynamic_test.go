@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -15,7 +16,7 @@ import (
 
 // dynamicBuilder infers a schema per build, like the facade does.
 func dynamicBuilder() Builder {
-	return func(docs []*xmltree.Document) (*Index, error) {
+	return func(ctx context.Context, docs []*xmltree.Document) (*Index, error) {
 		roots := make([]*xmltree.Node, len(docs))
 		for i, d := range docs {
 			roots[i] = d.Root
@@ -25,7 +26,7 @@ func dynamicBuilder() Builder {
 			return nil, err
 		}
 		enc := pathenc.NewEncoder(1 << 20)
-		return Build(docs, Options{Encoder: enc, Strategy: sequence.NewProbability(sch, enc)})
+		return BuildContext(ctx, docs, Options{Encoder: enc, Strategy: sequence.NewProbability(sch, enc)})
 	}
 }
 

@@ -18,6 +18,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -94,8 +95,16 @@ type Index struct {
 }
 
 // Build sequences and indexes the corpus. Document IDs must be unique and
-// non-negative.
+// non-negative. It is BuildContext with context.Background().
 func Build(docs []*xmltree.Document, opts Options) (*Index, error) {
+	return BuildContext(context.Background(), docs, opts)
+}
+
+// BuildContext is Build honouring ctx: cancellation is checked between
+// documents, so a giant build can be aborted with bounded latency (one
+// document's sequencing). On cancellation the ctx error is returned and the
+// partially built state is discarded.
+func BuildContext(ctx context.Context, docs []*xmltree.Document, opts Options) (*Index, error) {
 	if opts.Encoder == nil {
 		return nil, fmt.Errorf("index: Options.Encoder is required")
 	}
@@ -124,6 +133,9 @@ func Build(docs []*xmltree.Document, opts Options) (*Index, error) {
 	seqs := make([]sequence.Sequence, 0, len(docs))
 	ids := make([]int32, 0, len(docs))
 	for _, d := range docs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if d.ID < 0 {
 			return nil, fmt.Errorf("index: negative document id %d", d.ID)
 		}
@@ -354,17 +366,36 @@ func (ix *Index) Query(pat *query.Pattern) ([]int32, error) {
 	return ix.QueryWith(pat, QueryOptions{})
 }
 
-// QueryWith is Query with options.
+// QueryWith is Query with options. It is QueryWithContext with
+// context.Background().
 func (ix *Index) QueryWith(pat *query.Pattern, qo QueryOptions) ([]int32, error) {
+	return ix.QueryWithContext(context.Background(), pat, qo)
+}
+
+// QueryContext is Query honouring ctx; see QueryWithContext.
+func (ix *Index) QueryContext(ctx context.Context, pat *query.Pattern) ([]int32, error) {
+	return ix.QueryWithContext(ctx, pat, QueryOptions{})
+}
+
+// QueryWithContext is QueryWith honouring ctx: cancellation is polled
+// before each instance and, inside the match loops, every
+// cancelCheckStride link-entry candidates, so even a runaway wildcard
+// query over a large corpus aborts promptly. On cancellation the ctx error
+// is returned and any partial result is discarded.
+func (ix *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo QueryOptions) ([]int32, error) {
 	if ix.prio == nil {
 		return nil, fmt.Errorf("index: strategy %q has no priority; constraint matching requires a prioritized strategy such as g_best", ix.strategy.Name())
 	}
 	if qo.Verify && ix.docs == nil {
 		return nil, fmt.Errorf("index: Verify requires Options.KeepDocuments")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	insts := pat.Instantiate(ix.enc, ix.ci, ix.opts.InstantiationLimit)
 	res := newResultSet(ix.maxDocID, qo.MaxResults)
 	res.stats = qo.Stats
+	res.ctx = ctx
 	enumLimit := ix.opts.OrderEnumerationLimit
 	if enumLimit <= 0 {
 		enumLimit = DefaultOrderEnumerationLimit
@@ -373,6 +404,9 @@ func (ix *Index) QueryWith(pat *query.Pattern, qo QueryOptions) ([]int32, error)
 		qo.Stats.Instances = len(insts)
 	}
 	for _, inst := range insts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if res.full() {
 			break
 		}
@@ -387,46 +421,89 @@ func (ix *Index) QueryWith(pat *query.Pattern, qo QueryOptions) ([]int32, error)
 			ix.search(q, qo.Naive, res)
 		}
 	}
+	if res.err != nil {
+		return nil, res.err
+	}
 	out := res.sorted()
 	if qo.Stats != nil {
 		qo.Stats.Results = len(out)
 	}
 	if qo.Verify {
-		out = ix.verifyCandidates(pat, out)
+		var err error
+		out, err = ix.verifyCandidates(ctx, pat, out)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
 
-// verifyCandidates filters candidate ids by the ground-truth matcher.
-func (ix *Index) verifyCandidates(pat *query.Pattern, cand []int32) []int32 {
+// verifyCandidates filters candidate ids by the ground-truth matcher,
+// polling ctx between documents (tree-pattern embedding can be slow on
+// pathological records).
+func (ix *Index) verifyCandidates(ctx context.Context, pat *query.Pattern, cand []int32) ([]int32, error) {
 	byID := make(map[int32]*xmltree.Document, len(ix.docs))
 	for _, d := range ix.docs {
 		byID[d.ID] = d
 	}
 	var out []int32
 	for _, id := range cand {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if d := byID[id]; d != nil && pat.MatchesTree(d.Root) {
 			out = append(out, id)
 		}
 	}
-	return out
+	return out, nil
 }
 
+// cancelCheckStride is how many link-entry candidates the match loops visit
+// between context polls — small enough for prompt aborts, large enough that
+// the poll is invisible in query profiles.
+const cancelCheckStride = 256
+
 // resultSet deduplicates doc ids with a stamp array; an optional cap stops
-// the search early (MaxResults).
+// the search early (MaxResults), and a context aborts it (cancelled).
 type resultSet struct {
 	stamp []bool
 	ids   []int32
 	limit int // 0: unlimited
 	stats *QueryStats
+
+	ctx       context.Context // nil: never cancelled
+	err       error           // ctx error once observed
+	countdown int             // candidates until the next ctx poll
 }
 
 func newResultSet(maxID int32, limit int) *resultSet {
 	return &resultSet{stamp: make([]bool, maxID+1), limit: limit}
 }
 
+// cancelled polls the context every cancelCheckStride calls; once the
+// context is done it latches err and keeps returning true, which also makes
+// full() true so every search loop unwinds.
+func (r *resultSet) cancelled() bool {
+	if r.err != nil {
+		return true
+	}
+	if r.ctx == nil {
+		return false
+	}
+	r.countdown--
+	if r.countdown > 0 {
+		return false
+	}
+	r.countdown = cancelCheckStride
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+		return true
+	}
+	return false
+}
+
 func (r *resultSet) full() bool {
-	return r.limit > 0 && len(r.ids) >= r.limit
+	return r.err != nil || (r.limit > 0 && len(r.ids) >= r.limit)
 }
 
 func (r *resultSet) addAll(ids []int32) {

@@ -1,9 +1,14 @@
 package index
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"xseq/internal/pathenc"
 	"xseq/internal/schema"
@@ -11,16 +16,58 @@ import (
 	"xseq/internal/xmltree"
 )
 
-// Persistence: a built index serializes to a single stream (gob with a
-// version header) carrying the designator/path tables, the path links with
-// their sibling-cover metadata, the flattened document-id lists, the schema
-// the sequencing strategy was derived from, and the corpus repeat set. Load
-// reconstructs a query-ready index — the trie itself is not stored (queries
-// need only the links and labels), so loaded indexes are immutable and
-// Trie() returns nil.
+// Persistence: a built index serializes to a single stream carrying the
+// designator/path tables, the path links with their sibling-cover metadata,
+// the flattened document-id lists, the schema the sequencing strategy was
+// derived from, and the corpus repeat set. Load reconstructs a query-ready
+// index — the trie itself is not stored (queries need only the links and
+// labels), so loaded indexes are immutable and Trie() returns nil.
+//
+// On-disk format v2 (the format Save writes):
+//
+//	offset  size  field
+//	0       8     magic "XSEQIDX2"
+//	8       8     payload length, big-endian uint64
+//	16      n     payload: gob(persistedIndex)
+//	16+n    4     CRC-32 (IEEE) of the payload, big-endian uint32
+//
+// Truncation is caught by the length field, bit flips by the checksum, and
+// both are reported as *CorruptError. Load still accepts v1 streams (bare
+// gob, no header or checksum) for backward compatibility; v1 corruption is
+// detected by gob decoding plus the structural invariant check and reported
+// as *CorruptError too.
 
-// persistVersion guards format compatibility.
-const persistVersion = 1
+// persistVersion is the format version Save writes.
+const persistVersion = 2
+
+// persistMagic opens every v2 stream. v1 streams are bare gob: they begin
+// with a varint-encoded type definition, never with this byte sequence.
+var persistMagic = [8]byte{'X', 'S', 'E', 'Q', 'I', 'D', 'X', '2'}
+
+// maxPersistPayload caps how large a stream Load will buffer (a sanity
+// bound against corrupt or hostile length fields, far above any real
+// index).
+const maxPersistPayload = int64(1) << 36 // 64 GiB
+
+// CorruptError reports that a Save stream failed validation: truncated,
+// bit-flipped, checksum mismatch, undecodable, or structurally
+// inconsistent. Use errors.As to detect it.
+type CorruptError struct {
+	// Reason is a short human-readable diagnosis ("truncated stream",
+	// "checksum mismatch", ...).
+	Reason string
+	// Err is the underlying decode error, if any.
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("index: corrupt stream: %s: %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("index: corrupt stream: %s", e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
 
 type persistedLink struct {
 	Path   pathenc.PathID
@@ -53,8 +100,9 @@ type persistedOptions struct {
 	KeepDocuments         bool
 }
 
-// Save writes the index to w. Only probability-strategy (g_best) indexes
-// are saveable: the strategy is reconstructed from the schema on Load.
+// Save writes the index to w in format v2 (magic header, length, gob
+// payload, CRC-32 trailer). Only probability-strategy (g_best) indexes are
+// saveable: the strategy is reconstructed from the schema on Load.
 func (ix *Index) Save(w io.Writer) error {
 	prob, ok := ix.strategy.(*sequence.Probability)
 	if !ok {
@@ -98,25 +146,162 @@ func (ix *Index) Save(w io.Writer) error {
 		}
 		p.Links = append(p.Links, pl)
 	}
-	return gob.NewEncoder(w).Encode(&p)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&p); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	var hdr [16]byte
+	copy(hdr[:8], persistMagic[:])
+	binary.BigEndian.PutUint64(hdr[8:], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	sum := crc32.ChecksumIEEE(payload.Bytes())
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], sum)
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
 }
 
-// Load reconstructs a query-ready index from a Save stream.
+// SaveFile writes the index to path crash-safely: the stream goes to a
+// temporary file in the same directory, is fsynced, and is atomically
+// renamed over path, so a crash or failure mid-save can never leave a torn
+// or half-written index at path (any previous file there survives intact).
+func (ix *Index) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("index: save %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = ix.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("index: save %s: sync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("index: save %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("index: save %s: rename: %w", path, err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// LoadFile reconstructs an index from a file written by SaveFile (or any
+// Save stream on disk).
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: load %s: %w", path, err)
+	}
+	defer f.Close()
+	ix, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("index: load %s: %w", path, err)
+	}
+	return ix, nil
+}
+
+// Load reconstructs a query-ready index from a Save stream. It accepts
+// both the current v2 format and legacy v1 (bare gob) streams; any
+// corruption — truncation, bit flips, checksum mismatch, or structural
+// inconsistency — is reported as a *CorruptError.
 func Load(r io.Reader) (*Index, error) {
+	var hdr [16]byte
+	n, err := io.ReadFull(r, hdr[:8])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, &CorruptError{Reason: "unreadable stream", Err: err}
+	}
+	if n == 8 && bytes.Equal(hdr[:8], persistMagic[:]) {
+		return loadV2(r)
+	}
+	// Not a v2 header: replay the consumed bytes and try the legacy bare-gob
+	// format.
+	return loadV1(io.MultiReader(bytes.NewReader(hdr[:n]), r))
+}
+
+// loadV2 reads the remainder of a v2 stream after the magic bytes.
+func loadV2(r io.Reader) (*Index, error) {
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, &CorruptError{Reason: "truncated header", Err: err}
+	}
+	size := binary.BigEndian.Uint64(lenBuf[:])
+	if int64(size) < 0 || int64(size) > maxPersistPayload {
+		return nil, &CorruptError{Reason: fmt.Sprintf("implausible payload length %d", size)}
+	}
+	// Read through a LimitedReader so a corrupt length field cannot force a
+	// huge up-front allocation: the buffer grows only as bytes arrive.
+	var payload bytes.Buffer
+	got, err := io.Copy(&payload, io.LimitReader(r, int64(size)))
+	if err != nil {
+		return nil, &CorruptError{Reason: "unreadable payload", Err: err}
+	}
+	if uint64(got) != size {
+		return nil, &CorruptError{Reason: fmt.Sprintf("truncated stream: payload %d of %d bytes", got, size)}
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, &CorruptError{Reason: "truncated checksum trailer", Err: err}
+	}
+	want := binary.BigEndian.Uint32(trailer[:])
+	if sum := crc32.ChecksumIEEE(payload.Bytes()); sum != want {
+		return nil, &CorruptError{Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", want, sum)}
+	}
 	var p persistedIndex
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("index: load: %w", err)
+	if err := gob.NewDecoder(&payload).Decode(&p); err != nil {
+		return nil, &CorruptError{Reason: "undecodable payload", Err: err}
 	}
 	if p.Version != persistVersion {
-		return nil, fmt.Errorf("index: load: format version %d, want %d", p.Version, persistVersion)
+		return nil, &CorruptError{Reason: fmt.Sprintf("v2 stream carries payload version %d, want %d", p.Version, persistVersion)}
+	}
+	return reconstruct(&p)
+}
+
+// loadV1 decodes a legacy bare-gob stream.
+func loadV1(r io.Reader) (*Index, error) {
+	var p persistedIndex
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, &CorruptError{Reason: "not a recognizable index stream", Err: err}
+	}
+	if p.Version != 1 {
+		return nil, &CorruptError{Reason: fmt.Sprintf("unsupported format version %d", p.Version)}
+	}
+	return reconstruct(&p)
+}
+
+// reconstruct rebuilds a query-ready index from a decoded payload,
+// validating structural invariants so a decodable-but-inconsistent stream
+// cannot produce a silently wrong index.
+func reconstruct(p *persistedIndex) (*Index, error) {
+	if p.NumDocs < 0 || p.MaxDocID < 0 || p.MaxSerial < 0 {
+		return nil, &CorruptError{Reason: fmt.Sprintf("negative size fields (docs %d, max id %d, max serial %d)",
+			p.NumDocs, p.MaxDocID, p.MaxSerial)}
 	}
 	enc, err := pathenc.FromSnapshot(p.Encoder)
 	if err != nil {
-		return nil, fmt.Errorf("index: load: %w", err)
+		return nil, &CorruptError{Reason: "invalid encoder snapshot", Err: err}
 	}
 	sch, err := schema.New(p.Schema)
 	if err != nil {
-		return nil, fmt.Errorf("index: load: schema: %w", err)
+		return nil, &CorruptError{Reason: "invalid schema", Err: err}
 	}
 	strategy := sequence.NewProbability(sch, enc)
 	repeat := make(map[pathenc.PathID]bool, len(p.Repeat))
@@ -146,7 +331,7 @@ func Load(r io.Reader) (*Index, error) {
 	for _, pl := range p.Links {
 		n := len(pl.Pre)
 		if len(pl.Max) != n || len(pl.Anc) != n || len(pl.Embeds) != n {
-			return nil, fmt.Errorf("index: load: link %d has ragged arrays", pl.Path)
+			return nil, &CorruptError{Reason: fmt.Sprintf("link %d has ragged arrays", pl.Path)}
 		}
 		link := make([]linkEntry, n)
 		for i := range link {
@@ -156,7 +341,7 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	ix.ci = enc.BuildChildIndex()
 	if err := ix.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("index: load: corrupt stream: %w", err)
+		return nil, &CorruptError{Reason: "invariant violation", Err: err}
 	}
 	return ix, nil
 }

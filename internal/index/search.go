@@ -68,6 +68,9 @@ func (ix *Index) search(q sequence.Sequence, naive bool, res *resultSet) {
 		// "perform binary search in I to find nodes ∈ [vs, vm]").
 		start := ix.searchLink(p, link, lo, stats)
 		for idx := start; idx < len(link) && link[idx].pre <= hi && !res.full(); idx++ {
+			if res.cancelled() {
+				return
+			}
 			ix.touchLinkSlot(p, idx)
 			if stats != nil {
 				stats.EntriesScanned++

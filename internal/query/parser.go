@@ -30,7 +30,10 @@ func Parse(s string) (*Pattern, error) {
 	return &Pattern{Root: root, Text: s}, nil
 }
 
-// MustParse is Parse that panics on error; for fixtures and tests.
+// MustParse is Parse that panics on error; for fixtures and tests whose
+// query strings are compile-time literals. The panic marks a broken
+// fixture — runtime query parsing must use Parse, which returns the error;
+// the public xseq API also runs behind a panic-recovery guard.
 func MustParse(s string) *Pattern {
 	p, err := Parse(s)
 	if err != nil {

@@ -101,7 +101,10 @@ func New(root *Node) (*Schema, error) {
 	return s, nil
 }
 
-// MustNew is New that panics on error; for fixtures.
+// MustNew is New that panics on error; for fixtures built from literal
+// trees known valid at compile time. The panic marks a broken fixture —
+// runtime schema construction must use New, which returns the error; the
+// public xseq API also runs behind a panic-recovery guard.
 func MustNew(root *Node) *Schema {
 	s, err := New(root)
 	if err != nil {

@@ -1,0 +1,48 @@
+package xmltree
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzParse drives Parse with arbitrary byte streams under tight resource
+// limits: it must reject or accept every input without panicking or
+// unbounded allocation, and anything it accepts must serialize back out.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<a></a>",
+		"<a><b>x</b></a>",
+		`<Project id="7"><Research><Location>newyork</Location></Research>` +
+			`<Development><Location>boston</Location></Development></Project>`,
+		`<?xml version="1.0"?><!DOCTYPE a><!-- c --><a><?pi data?><b>x</b></a>`,
+		`<a><b>x &amp; y</b><c><![CDATA[<raw>]]></c></a>`,
+		"<a><b></a></b>",
+		"<a></a><b></b>",
+		"just text",
+		nestedXML(40),
+		wideXML(40),
+		`<r a="1" b="2">mixed<c/>tail</r>`,
+		"<a>\xff\xfe</a>",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	opts := ParseOptions{MaxDepth: 64, MaxNodes: 1 << 14, MaxInputBytes: 1 << 18}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		root, err := Parse(bytes.NewReader(data), opts)
+		if err != nil {
+			return
+		}
+		if root == nil {
+			t.Fatal("nil root with nil error")
+		}
+		if size := root.Size(); size > 1<<14 {
+			t.Fatalf("accepted tree of %d nodes beyond the configured limit", size)
+		}
+		if err := WriteXML(io.Discard, root); err != nil {
+			t.Fatalf("accepted tree does not serialize: %v", err)
+		}
+	})
+}

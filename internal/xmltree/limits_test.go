@@ -1,0 +1,128 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// nestedXML builds <a><a>...</a></a> with the given nesting depth.
+func nestedXML(depth int) string {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<a>")
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("</a>")
+	}
+	return b.String()
+}
+
+// wideXML builds <r><b/>...<b/></r> with n leaf children.
+func wideXML(n int) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < n; i++ {
+		b.WriteString("<b></b>")
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+func limitKind(t *testing.T, err error) string {
+	t.Helper()
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %v is not a *LimitError", err)
+	}
+	return le.Kind
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	opts := ParseOptions{MaxDepth: 8}
+	if _, err := Parse(strings.NewReader(nestedXML(8)), opts); err != nil {
+		t.Fatalf("depth exactly at limit should parse: %v", err)
+	}
+	_, err := Parse(strings.NewReader(nestedXML(9)), opts)
+	if err == nil {
+		t.Fatal("depth beyond limit should fail")
+	}
+	if kind := limitKind(t, err); kind != "depth" {
+		t.Fatalf("kind = %q want depth", kind)
+	}
+	// -1 lifts the limit entirely, even past the default.
+	if _, err := Parse(strings.NewReader(nestedXML(DefaultMaxDepth+10)),
+		ParseOptions{MaxDepth: -1}); err != nil {
+		t.Fatalf("unlimited depth rejected deep input: %v", err)
+	}
+}
+
+func TestParseDepthDefault(t *testing.T) {
+	if _, err := Parse(strings.NewReader(nestedXML(DefaultMaxDepth)), ParseOptions{}); err != nil {
+		t.Fatalf("default-depth input should parse: %v", err)
+	}
+	_, err := Parse(strings.NewReader(nestedXML(DefaultMaxDepth+1)), ParseOptions{})
+	if err == nil {
+		t.Fatal("deeper-than-default input should fail")
+	}
+	if kind := limitKind(t, err); kind != "depth" {
+		t.Fatalf("kind = %q want depth", kind)
+	}
+}
+
+func TestParseNodeLimit(t *testing.T) {
+	// <r> plus 10 children = 11 nodes.
+	if _, err := Parse(strings.NewReader(wideXML(10)), ParseOptions{MaxNodes: 11}); err != nil {
+		t.Fatalf("node count exactly at limit should parse: %v", err)
+	}
+	_, err := Parse(strings.NewReader(wideXML(11)), ParseOptions{MaxNodes: 11})
+	if err == nil {
+		t.Fatal("node count beyond limit should fail")
+	}
+	if kind := limitKind(t, err); kind != "nodes" {
+		t.Fatalf("kind = %q want nodes", kind)
+	}
+	if _, err := Parse(strings.NewReader(wideXML(100)), ParseOptions{MaxNodes: -1}); err != nil {
+		t.Fatalf("unlimited nodes rejected input: %v", err)
+	}
+}
+
+func TestParseNodeLimitCountsAttributesAndText(t *testing.T) {
+	// <r a="1">x</r> = element + attribute node + attribute value + text = 4.
+	src := `<r a="1">x</r>`
+	if _, err := Parse(strings.NewReader(src), ParseOptions{MaxNodes: 4}); err != nil {
+		t.Fatalf("4-node doc at limit 4 should parse: %v", err)
+	}
+	_, err := Parse(strings.NewReader(src), ParseOptions{MaxNodes: 3})
+	if err == nil {
+		t.Fatal("4-node doc at limit 3 should fail")
+	}
+	if kind := limitKind(t, err); kind != "nodes" {
+		t.Fatalf("kind = %q want nodes", kind)
+	}
+}
+
+func TestParseByteLimit(t *testing.T) {
+	src := "<a><b>x</b></a>"
+	if _, err := Parse(strings.NewReader(src),
+		ParseOptions{MaxInputBytes: int64(len(src))}); err != nil {
+		t.Fatalf("input exactly at byte limit should parse: %v", err)
+	}
+	_, err := Parse(strings.NewReader(src), ParseOptions{MaxInputBytes: int64(len(src)) - 1})
+	if err == nil {
+		t.Fatal("input beyond byte limit should fail")
+	}
+	if kind := limitKind(t, err); kind != "bytes" {
+		t.Fatalf("kind = %q want bytes", kind)
+	}
+	if _, err := Parse(strings.NewReader(src), ParseOptions{MaxInputBytes: -1}); err != nil {
+		t.Fatalf("unlimited bytes rejected input: %v", err)
+	}
+}
+
+func TestLimitErrorMessage(t *testing.T) {
+	e := &LimitError{Kind: "depth", Limit: 8}
+	if msg := e.Error(); !strings.Contains(msg, "depth") || !strings.Contains(msg, "8") {
+		t.Fatalf("unhelpful message %q", msg)
+	}
+}

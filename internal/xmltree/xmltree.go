@@ -283,12 +283,104 @@ func embedsAt(d, p *Node) bool {
 // XML parsing and serialization
 // ---------------------------------------------------------------------------
 
+// Default resource limits applied by Parse when the corresponding
+// ParseOptions field is zero. They are generous for benchmark corpora while
+// stopping hostile inputs (deep-nesting bombs, unbounded streams) at the
+// ingestion boundary.
+const (
+	// DefaultMaxDepth bounds element nesting depth.
+	DefaultMaxDepth = 1024
+	// DefaultMaxNodes bounds the number of tree nodes one document may
+	// produce (elements, attributes and values all count).
+	DefaultMaxNodes = 16 << 20 // ~16.7M nodes
+	// DefaultMaxInputBytes bounds how many input bytes Parse will consume.
+	DefaultMaxInputBytes = 256 << 20 // 256 MiB
+)
+
+// LimitError reports that an input exceeded a parse resource limit. It is
+// returned (wrapped) by Parse; use errors.As to detect it.
+type LimitError struct {
+	// Kind names the exceeded limit: "depth", "nodes", or "bytes".
+	Kind string
+	// Limit is the configured bound that was exceeded.
+	Limit int64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("xmltree: input exceeds %s limit (%d)", e.Kind, e.Limit)
+}
+
 // ParseOptions controls XML-to-tree conversion.
 type ParseOptions struct {
 	// KeepWhitespaceText keeps whitespace-only character data as value
 	// leaves. Default (false) drops them, which is what every XML index
 	// benchmark does.
 	KeepWhitespaceText bool
+
+	// MaxDepth bounds element nesting depth (0: DefaultMaxDepth,
+	// -1: unlimited). Exceeding it yields a *LimitError.
+	MaxDepth int
+	// MaxNodes bounds the total number of nodes the document may produce
+	// (0: DefaultMaxNodes, -1: unlimited). Exceeding it yields a
+	// *LimitError.
+	MaxNodes int
+	// MaxInputBytes bounds the bytes read from the input
+	// (0: DefaultMaxInputBytes, -1: unlimited). Exceeding it yields a
+	// *LimitError.
+	MaxInputBytes int64
+}
+
+// effective resolves the 0-default / -1-unlimited convention. Unlimited is
+// represented as the maximum value of the type.
+func (o ParseOptions) effective() (maxDepth, maxNodes int, maxBytes int64) {
+	maxDepth, maxNodes, maxBytes = o.MaxDepth, o.MaxNodes, o.MaxInputBytes
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	} else if maxDepth < 0 {
+		maxDepth = int(^uint(0) >> 1)
+	}
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	} else if maxNodes < 0 {
+		maxNodes = int(^uint(0) >> 1)
+	}
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxInputBytes
+	} else if maxBytes < 0 {
+		maxBytes = int64(^uint64(0) >> 1)
+	}
+	return maxDepth, maxNodes, maxBytes
+}
+
+// limitedReader returns *LimitError once more than max bytes have been read.
+// An input of exactly max bytes still parses: at the cap, EOF passes through
+// and only an actual extra byte trips the limit.
+type limitedReader struct {
+	r   io.Reader
+	n   int64 // bytes remaining before the cap
+	max int64
+	err error
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.n <= 0 {
+		var probe [1]byte
+		n, err := l.r.Read(probe[:])
+		if n > 0 {
+			l.err = &LimitError{Kind: "bytes", Limit: l.max}
+			return 0, l.err
+		}
+		return 0, err
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
 }
 
 // Parse reads one XML document from r and converts it to a tree:
@@ -297,9 +389,19 @@ type ParseOptions struct {
 //     single value leaf carrying the attribute value;
 //   - character data becomes value leaves under the enclosing element.
 func Parse(r io.Reader, opts ParseOptions) (*Node, error) {
-	dec := xml.NewDecoder(r)
+	maxDepth, maxNodes, maxBytes := opts.effective()
+	lr := &limitedReader{r: r, n: maxBytes, max: maxBytes}
+	dec := xml.NewDecoder(lr)
 	var stack []*Node
 	var root *Node
+	nodes := 0
+	addNodes := func(k int) error {
+		nodes += k
+		if nodes > maxNodes {
+			return &LimitError{Kind: "nodes", Limit: int64(maxNodes)}
+		}
+		return nil
+	}
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -310,12 +412,20 @@ func Parse(r io.Reader, opts ParseOptions) (*Node, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if len(stack) >= maxDepth {
+				return nil, fmt.Errorf("xmltree: parse: %w", &LimitError{Kind: "depth", Limit: int64(maxDepth)})
+			}
 			n := NewElem(t.Name.Local)
 			for _, a := range t.Attr {
 				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
 					continue
 				}
 				n.Children = append(n.Children, NewElem(a.Name.Local, NewValue(a.Value)))
+			}
+			// The element plus, per attribute, an attribute node and its
+			// value leaf.
+			if err := addNodes(1 + 2*len(n.Children)); err != nil {
+				return nil, fmt.Errorf("xmltree: parse: %w", err)
 			}
 			if len(stack) == 0 {
 				if root != nil {
@@ -340,6 +450,9 @@ func Parse(r io.Reader, opts ParseOptions) (*Node, error) {
 			if len(stack) == 0 {
 				continue
 			}
+			if err := addNodes(1); err != nil {
+				return nil, fmt.Errorf("xmltree: parse: %w", err)
+			}
 			parent := stack[len(stack)-1]
 			parent.Children = append(parent.Children, NewValue(strings.TrimSpace(text)))
 		}
@@ -358,7 +471,12 @@ func ParseString(s string) (*Node, error) {
 	return Parse(strings.NewReader(s), ParseOptions{})
 }
 
-// MustParse is ParseString that panics on error; for tests and fixtures.
+// MustParse is ParseString that panics on error; for tests and fixtures
+// whose inputs are compile-time string literals. The panic is intentional
+// (it signals a broken fixture, not a runtime condition): library and
+// application code must use Parse/ParseString, which return the error. The
+// public xseq API additionally wraps calls in a panic-recovery guard, so an
+// escaped panic surfaces to API callers as an error rather than a crash.
 func MustParse(s string) *Node {
 	n, err := ParseString(s)
 	if err != nil {

@@ -23,8 +23,10 @@
 package xseq
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strings"
 
 	"xseq/internal/index"
@@ -36,15 +38,83 @@ import (
 	"xseq/internal/xmltree"
 )
 
+// LimitError reports an input that exceeded a parse resource limit
+// (ParseOptions.MaxDepth/MaxNodes/MaxInputBytes); detect it with errors.As.
+type LimitError = xmltree.LimitError
+
+// CorruptError reports a Save stream that failed validation on Load —
+// truncated, bit-flipped, checksum mismatch, or structurally inconsistent;
+// detect it with errors.As.
+type CorruptError = index.CorruptError
+
+// CompactionError reports a failed DynamicIndex compaction. The index keeps
+// serving its pre-compaction state and retries automatically; detect the
+// condition with errors.As.
+type CompactionError = index.CompactionError
+
+// PanicError wraps a panic that escaped the library internals through a
+// public API call — always a bug in xseq, surfaced as an error (with the
+// stack of the panicking goroutine) instead of crashing the caller.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack trace captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("xseq: internal panic (please report): %v", e.Value)
+}
+
+// guard converts an escaped panic into a *PanicError. Every public entry
+// point that executes library internals defers it, so a bug in the index
+// machinery degrades into an error return rather than a process crash.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = &PanicError{Value: r, Stack: debug.Stack()}
+	}
+}
+
 // Document is one indexable XML record.
 type Document struct {
 	id   int32
 	root *xmltree.Node
 }
 
-// ParseDocument reads one XML document from r.
+// ParseOptions bounds document ingestion. The zero value applies the
+// package defaults, which stop hostile inputs (deep-nesting bombs,
+// unbounded streams) while being generous for benchmark corpora; -1
+// disables the corresponding limit.
+type ParseOptions struct {
+	// KeepWhitespaceText keeps whitespace-only character data as value
+	// leaves (default: dropped).
+	KeepWhitespaceText bool
+	// MaxDepth bounds element nesting depth (0: 1024, -1: unlimited).
+	MaxDepth int
+	// MaxNodes bounds the node count one document may produce
+	// (0: ~16.7M, -1: unlimited).
+	MaxNodes int
+	// MaxInputBytes bounds the bytes read from the input
+	// (0: 256 MiB, -1: unlimited).
+	MaxInputBytes int64
+}
+
+// ParseDocument reads one XML document from r under the default resource
+// limits.
 func ParseDocument(id int32, r io.Reader) (*Document, error) {
-	root, err := xmltree.Parse(r, xmltree.ParseOptions{})
+	return ParseDocumentOptions(id, r, ParseOptions{})
+}
+
+// ParseDocumentOptions is ParseDocument with explicit options. An input
+// exceeding a limit yields an error matching *LimitError via errors.As.
+func ParseDocumentOptions(id int32, r io.Reader, opts ParseOptions) (doc *Document, err error) {
+	defer guard(&err)
+	root, err := xmltree.Parse(r, xmltree.ParseOptions{
+		KeepWhitespaceText: opts.KeepWhitespaceText,
+		MaxDepth:           opts.MaxDepth,
+		MaxNodes:           opts.MaxNodes,
+		MaxInputBytes:      opts.MaxInputBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -101,8 +171,16 @@ type Index struct {
 
 // Build infers a schema from the corpus (probabilities by sampling, as in
 // Section 5.2), applies Config.Weights, sequences every document with
-// g_best, and builds the index.
+// g_best, and builds the index. It is BuildContext with
+// context.Background().
 func Build(docs []*Document, cfg Config) (*Index, error) {
+	return BuildContext(context.Background(), docs, cfg)
+}
+
+// BuildContext is Build honouring ctx: cancelling it aborts the build
+// between documents, returning the context's error.
+func BuildContext(ctx context.Context, docs []*Document, cfg Config) (ix0 *Index, err error) {
+	defer guard(&err)
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("xseq: empty corpus")
 	}
@@ -132,7 +210,7 @@ func Build(docs []*Document, cfg Config) (*Index, error) {
 		enc = pathenc.NewEncoder(cfg.ValueSpace)
 	}
 	strategy := sequence.NewProbability(sch, enc)
-	ix, err := index.Build(inner, index.Options{
+	ix, err := index.BuildContext(ctx, inner, index.Options{
 		Encoder:            enc,
 		Strategy:           strategy,
 		BulkLoad:           cfg.BulkLoad,
@@ -149,28 +227,45 @@ func Build(docs []*Document, cfg Config) (*Index, error) {
 // wildcards, branching predicates, value tests), returning matching
 // document ids in ascending order. Value semantics are designator-level:
 // two values in the same hash bucket are indistinguishable; use
-// QueryVerified for exact matching.
+// QueryVerified for exact matching. It is QueryContext with
+// context.Background().
 func (ix *Index) Query(q string) ([]int32, error) {
+	return ix.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query honouring ctx: a cancelled or expired context
+// aborts the match loops promptly (checked every few hundred candidate
+// entries), returning the context's error — the escape hatch for runaway
+// wildcard queries over large corpora.
+func (ix *Index) QueryContext(ctx context.Context, q string) (ids []int32, err error) {
+	defer guard(&err)
 	pat, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return ix.ix.Query(pat)
+	return ix.ix.QueryContext(ctx, pat)
 }
 
 // QueryVerified is Query with exact value semantics: every candidate is
 // checked against its stored document. Requires Config.KeepDocuments.
 func (ix *Index) QueryVerified(q string) ([]int32, error) {
+	return ix.QueryVerifiedContext(context.Background(), q)
+}
+
+// QueryVerifiedContext is QueryVerified honouring ctx.
+func (ix *Index) QueryVerifiedContext(ctx context.Context, q string) (ids []int32, err error) {
+	defer guard(&err)
 	pat, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return ix.ix.QueryWith(pat, index.QueryOptions{Verify: true})
+	return ix.ix.QueryWithContext(ctx, pat, index.QueryOptions{Verify: true})
 }
 
 // QueryLimit is Query that stops after max distinct documents (max <= 0:
 // unlimited). Useful for existence tests and first-page results.
-func (ix *Index) QueryLimit(q string, max int) ([]int32, error) {
+func (ix *Index) QueryLimit(q string, max int) (ids []int32, err error) {
+	defer guard(&err)
 	pat, err := query.Parse(q)
 	if err != nil {
 		return nil, err
@@ -199,12 +294,18 @@ type Explain struct {
 
 // QueryExplain is Query that also returns the work profile.
 func (ix *Index) QueryExplain(q string) ([]int32, Explain, error) {
+	return ix.QueryExplainContext(context.Background(), q)
+}
+
+// QueryExplainContext is QueryExplain honouring ctx.
+func (ix *Index) QueryExplainContext(ctx context.Context, q string) (_ []int32, _ Explain, err error) {
+	defer guard(&err)
 	pat, err := query.Parse(q)
 	if err != nil {
 		return nil, Explain{}, err
 	}
 	var st index.QueryStats
-	ids, err := ix.ix.QueryWith(pat, index.QueryOptions{Stats: &st})
+	ids, err := ix.ix.QueryWithContext(ctx, pat, index.QueryOptions{Stats: &st})
 	if err != nil {
 		return nil, Explain{}, err
 	}
@@ -275,12 +376,41 @@ func (ix *Index) FetchDocuments(ids []int32) ([]*Document, error) {
 // Save serializes the index (designator tables, links, document lists,
 // inferred schema, and — when built with KeepDocuments — the corpus) so it
 // can be reloaded with Load without re-parsing or re-sequencing anything.
-func (ix *Index) Save(w io.Writer) error { return ix.ix.Save(w) }
+// The stream is the v2 format: magic header, version, gob payload, and a
+// CRC-32 trailer that Load verifies.
+func (ix *Index) Save(w io.Writer) (err error) {
+	defer guard(&err)
+	return ix.ix.Save(w)
+}
+
+// SaveFile is Save to a file, crash-safely: the index is written to a
+// temporary file in the same directory, fsynced, and atomically renamed
+// over path — a crash mid-save never leaves a torn index (a previous file
+// at path survives intact).
+func (ix *Index) SaveFile(path string) (err error) {
+	defer guard(&err)
+	return ix.ix.SaveFile(path)
+}
 
 // Load reconstructs an index written by Save. The loaded index answers
-// queries identically to the original; it is immutable.
-func Load(r io.Reader) (*Index, error) {
+// queries identically to the original; it is immutable. Load accepts both
+// current (v2, checksummed) and legacy v1 streams; corruption — truncation,
+// bit flips, checksum or invariant failures — is reported as a
+// *CorruptError, never a panic or a silently wrong index.
+func Load(r io.Reader) (_ *Index, err error) {
+	defer guard(&err)
 	inner, err := index.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: inner}, nil
+}
+
+// LoadFile is Load from a file written by SaveFile (or any Save stream on
+// disk).
+func LoadFile(path string) (_ *Index, err error) {
+	defer guard(&err)
+	inner, err := index.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -299,13 +429,14 @@ type DynamicIndex struct {
 // BuildDynamic builds an updatable index over an initial corpus (which may
 // be empty). threshold is the delta size that triggers automatic
 // compaction (<= 0: 1024).
-func BuildDynamic(initial []*Document, cfg Config, threshold int) (*DynamicIndex, error) {
-	builder := func(inner []*xmltree.Document) (*index.Index, error) {
+func BuildDynamic(initial []*Document, cfg Config, threshold int) (_ *DynamicIndex, err error) {
+	defer guard(&err)
+	builder := func(ctx context.Context, inner []*xmltree.Document) (*index.Index, error) {
 		wrapped := make([]*Document, len(inner))
 		for i, d := range inner {
 			wrapped[i] = &Document{id: d.ID, root: d.Root}
 		}
-		ix, err := Build(wrapped, cfg)
+		ix, err := BuildContext(ctx, wrapped, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -325,25 +456,58 @@ func BuildDynamic(initial []*Document, cfg Config, threshold int) (*DynamicIndex
 	return &DynamicIndex{d: dyn}, nil
 }
 
-// Insert adds one document; ids must be unique across the index's life.
+// Insert adds one document; ids must be unique across the index's life. It
+// is InsertContext with context.Background().
 func (d *DynamicIndex) Insert(doc *Document) error {
+	return d.InsertContext(context.Background(), doc)
+}
+
+// InsertContext adds one document under ctx (which governs any automatic
+// compaction the insert triggers). If that compaction fails — builder
+// error, panic, or cancellation — the document is still inserted and
+// queryable, the old main index keeps serving, and the failure is returned
+// as a *CompactionError; compaction retries at the next threshold crossing.
+func (d *DynamicIndex) InsertContext(ctx context.Context, doc *Document) (err error) {
+	defer guard(&err)
 	if doc == nil || doc.root == nil {
 		return fmt.Errorf("xseq: nil document")
 	}
-	return d.d.Insert(&xmltree.Document{ID: doc.id, Root: doc.root})
+	return d.d.InsertContext(ctx, &xmltree.Document{ID: doc.id, Root: doc.root})
 }
 
-// Query answers an XPath-subset query over main + delta.
+// Query answers an XPath-subset query over main + delta. It is
+// QueryContext with context.Background().
 func (d *DynamicIndex) Query(q string) ([]int32, error) {
+	return d.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query honouring ctx in both the lazy delta rebuild and
+// the match loops.
+func (d *DynamicIndex) QueryContext(ctx context.Context, q string) (ids []int32, err error) {
+	defer guard(&err)
 	pat, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return d.d.Query(pat)
+	return d.d.QueryContext(ctx, pat)
 }
 
-// Compact folds buffered documents into the main index.
-func (d *DynamicIndex) Compact() error { return d.d.Compact() }
+// Compact folds buffered documents into the main index. On failure the
+// index keeps serving its pre-compaction state and the error is a
+// *CompactionError; see CompactContext.
+func (d *DynamicIndex) Compact() error { return d.CompactContext(context.Background()) }
+
+// CompactContext is Compact honouring ctx. Whatever goes wrong — builder
+// error, panic, cancellation — the serving state is untouched: queries
+// before and after a failed compaction answer identically.
+func (d *DynamicIndex) CompactContext(ctx context.Context) (err error) {
+	defer guard(&err)
+	return d.d.CompactContext(ctx)
+}
+
+// LastCompactionError reports the most recent compaction failure, nil
+// after a successful compaction (or if none ever failed).
+func (d *DynamicIndex) LastCompactionError() error { return d.d.LastCompactionError() }
 
 // NumDocuments reports the total corpus size including buffered documents.
 func (d *DynamicIndex) NumDocuments() int { return d.d.NumDocuments() }
