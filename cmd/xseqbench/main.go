@@ -10,10 +10,14 @@
 // Scale 1.0 reproduces paper-sized datasets (millions of records; takes a
 // long time and a lot of memory); the default keeps each experiment in
 // seconds while preserving the reported shapes.
+//
+// Exit codes: 0 success, 1 data/experiment error, 2 usage, 3 timeout
+// (-timeout elapsed before the run finished), 4 corrupt index snapshot.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,8 +25,34 @@ import (
 	"strings"
 	"time"
 
+	"xseq"
 	"xseq/internal/bench"
 )
+
+// Exit codes; see the command doc.
+const (
+	exitOK      = 0
+	exitData    = 1
+	exitUsage   = 2
+	exitTimeout = 3
+	exitCorrupt = 4
+)
+
+// exitCode classifies err the same way cmd/xseqquery does: retryable
+// timeouts and permanent snapshot corruption get codes of their own.
+func exitCode(err error) int {
+	var corrupt *xseq.CorruptError
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return exitTimeout
+	case errors.As(err, &corrupt):
+		return exitCorrupt
+	default:
+		return exitData
+	}
+}
 
 func main() {
 	var (
@@ -61,7 +91,7 @@ func main() {
 			e, ok := bench.Find(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "xseqbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				os.Exit(exitUsage)
 			}
 			selected = append(selected, e)
 		}
@@ -72,7 +102,7 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
-			os.Exit(1)
+			os.Exit(exitData)
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
@@ -85,13 +115,13 @@ func main() {
 	for _, e := range selected {
 		if err := ctx.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
-			os.Exit(1)
+			os.Exit(exitCode(err))
 		}
 		start := time.Now()
 		tabs, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xseqbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			os.Exit(exitCode(err))
 		}
 		for _, t := range tabs {
 			fmt.Fprintln(sink, t.Format())

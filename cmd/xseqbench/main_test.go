@@ -1,0 +1,37 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"xseq"
+)
+
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, exitOK},
+		{"experiment", errors.New("fig14a: bad shape"), exitData},
+		{"deadline", context.DeadlineExceeded, exitTimeout},
+		{"wrapped deadline", fmt.Errorf("table7: %w", context.DeadlineExceeded), exitTimeout},
+		{"cancelled", context.Canceled, exitTimeout},
+		{"corrupt", fmt.Errorf("load: %w", &xseq.CorruptError{Reason: "bit flip"}), exitCorrupt},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestExitCodesDistinct(t *testing.T) {
+	codes := map[int]string{exitOK: "ok", exitData: "data", exitUsage: "usage", exitTimeout: "timeout", exitCorrupt: "corrupt"}
+	if len(codes) != 5 {
+		t.Fatalf("exit codes collide: %v", codes)
+	}
+}

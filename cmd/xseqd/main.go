@@ -1,0 +1,140 @@
+// Command xseqd serves XPath-subset queries over a saved xseq index
+// snapshot, hardened for production traffic: admission control sheds
+// overload with 429 + Retry-After instead of queueing without bound, every
+// query runs under a deadline wired into the index's cancellable match
+// loops, SIGHUP (or -watch mtime polling) hot-reloads the snapshot with an
+// atomic swap — a corrupt replacement leaves the old snapshot serving and
+// flips /healthz to "degraded" — and SIGINT/SIGTERM drains gracefully:
+// stop admitting, finish in-flight queries, cancel stragglers after the
+// -drain budget.
+//
+// Endpoints:
+//
+//	GET /query?q=/site//person/age[text='32']&limit=10&timeout=2s&verify=1
+//	GET /stats      index shape, admission counters, reload history
+//	GET /healthz    liveness + degradation detail (always 200 while serving)
+//	GET /readyz     503 while draining, 200 otherwise
+//
+// Usage:
+//
+//	xseqquery -data corpus.xml -saveindex /var/lib/xseq/corpus.idx
+//	xseqd -index /var/lib/xseq/corpus.idx -addr :8080
+//	curl 'localhost:8080/query?q=/rec/title'
+//	kill -HUP $(pidof xseqd)    # pick up a rewritten snapshot
+//
+// The -chaos-* flags arm per-route fault injection on /query (latency,
+// errors, panics) for resilience drills; all default to off.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xseq/internal/faultio"
+	"xseq/internal/server"
+)
+
+func main() {
+	var (
+		index    = flag.String("index", "", "index snapshot file to serve (required; written by xseqquery -saveindex)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxConc  = flag.Int("max-concurrent", 32, "queries executing at once")
+		maxQueue = flag.Int("max-queue", 0, "queries waiting for a slot (0 = 2*max-concurrent); beyond this, 429")
+		timeout  = flag.Duration("timeout", 5*time.Second, "default per-query deadline")
+		maxTO    = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested ?timeout")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before in-flight queries are cancelled")
+		watch    = flag.Duration("watch", 0, "poll the snapshot file at this interval and hot-reload on change (0 = SIGHUP only)")
+
+		chaosLatency      = flag.Duration("chaos-latency", 0, "chaos: latency injected into /query when -chaos-latency-every fires")
+		chaosLatencyEvery = flag.Int("chaos-latency-every", 0, "chaos: inject latency into every nth /query (0 = off)")
+		chaosErrorEvery   = flag.Int("chaos-error-every", 0, "chaos: fail every nth /query with 500 (0 = off)")
+		chaosPanicEvery   = flag.Int("chaos-panic-every", 0, "chaos: panic on every nth /query, contained to a 500 (0 = off)")
+	)
+	flag.Parse()
+	if *index == "" {
+		fmt.Fprintln(os.Stderr, "xseqd: -index is required")
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
+		IndexPath:      *index,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+	}
+	if *chaosLatencyEvery > 0 || *chaosErrorEvery > 0 || *chaosPanicEvery > 0 {
+		faults := server.ChaosFaults{}
+		if *chaosLatencyEvery > 0 {
+			faults.Latency = *chaosLatency
+			faults.LatencyOn = faultio.Every(*chaosLatencyEvery)
+		}
+		if *chaosErrorEvery > 0 {
+			faults.ErrorOn = faultio.Every(*chaosErrorEvery)
+		}
+		if *chaosPanicEvery > 0 {
+			faults.PanicOn = faultio.Every(*chaosPanicEvery)
+		}
+		cfg.Chaos = server.Chaos{"/query": faults}
+		log.Printf("xseqd: chaos armed on /query (latency %v every %d, error every %d, panic every %d)",
+			*chaosLatency, *chaosLatencyEvery, *chaosErrorEvery, *chaosPanicEvery)
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Printf("xseqd: %v", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// SIGHUP: hot snapshot reload, forever.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			_ = srv.Reload() // failure keeps old snapshot; visible in /healthz
+		}
+	}()
+
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	if *watch > 0 {
+		go srv.WatchFile(watchCtx, *watch)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("xseqd: serving %s on %s (admit %d, queue %d, drain budget %v)",
+		*index, *addr, *maxConc, cfg.MaxQueue, *drain)
+
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Printf("xseqd: listener failed: %v", err)
+		os.Exit(1)
+	case sig := <-term:
+		log.Printf("xseqd: %v: draining (budget %v)", sig, *drain)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the listener while queries drain; Shutdown also waits for
+	// handlers, but srv.Drain is the authority on in-flight queries (it
+	// cancels stragglers at the budget).
+	go func() { _ = httpSrv.Shutdown(dctx) }()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("xseqd: drain budget spent, stragglers cancelled: %v", err)
+	} else {
+		log.Printf("xseqd: drained cleanly")
+	}
+	_ = httpSrv.Close()
+}

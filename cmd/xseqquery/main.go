@@ -8,10 +8,16 @@
 //	xseqquery -data corpus.xml -stats            # index statistics only
 //	xseqquery -data corpus.xml -io "/a/b"        # with simulated I/O costs
 //	xseqquery -data corpus.xml -verify "/a[b='x']"
+//
+// Exit codes distinguish failure classes so scripts can react: 0 success,
+// 1 data error (parse, limit, I/O, bad query), 2 usage, 3 timeout
+// (-timeout elapsed — retryable with a larger budget), 4 corrupt index
+// snapshot (rebuild or restore, retrying won't help).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +27,37 @@ import (
 	"xseq/internal/xmltree"
 )
 
-// fail prints a one-line error and exits non-zero — no partial output
-// follows a parse, limit, corruption, or timeout failure.
-func fail(format string, args ...interface{}) {
+// Exit codes; see the command doc.
+const (
+	exitOK      = 0
+	exitData    = 1
+	exitUsage   = 2
+	exitTimeout = 3
+	exitCorrupt = 4
+)
+
+// exitCode classifies err into the command's exit codes: timeouts
+// (retryable) and snapshot corruption (permanent) get distinct codes from
+// generic data errors.
+func exitCode(err error) int {
+	var corrupt *xseq.CorruptError
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return exitTimeout
+	case errors.As(err, &corrupt):
+		return exitCorrupt
+	default:
+		return exitData
+	}
+}
+
+// fail prints a one-line error and exits with err's class code — no
+// partial output follows a parse, limit, corruption, or timeout failure.
+func fail(err error, format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "xseqquery: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }
 
 func main() {
@@ -61,26 +93,26 @@ func main() {
 		var err error
 		ix, err = xseq.LoadFile(*loadIdx)
 		if err != nil {
-			fail("%v", err)
+			fail(err, "%v", err)
 		}
 	case *data != "":
 		docs, err := loadCorpus(*data)
 		if err != nil {
-			fail("%v", err)
+			fail(err, "%v", err)
 		}
 		ctx, cancel := withTimeout()
 		ix, err = xseq.BuildContext(ctx, docs, xseq.Config{KeepDocuments: *verify || *saveIdx != "", TextValues: *text})
 		cancel()
 		if err != nil {
-			fail("build: %v", err)
+			fail(err, "build: %v", err)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "xseqquery: one of -data or -loadindex is required")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if *saveIdx != "" {
 		if err := ix.SaveFile(*saveIdx); err != nil {
-			fail("save: %v", err)
+			fail(err, "save: %v", err)
 		}
 		fmt.Printf("index saved to %s\n", *saveIdx)
 	}
@@ -101,7 +133,7 @@ func main() {
 	if *ioSim {
 		pages, err := ix.EnablePagedIO(*pool)
 		if err != nil {
-			fail("%v", err)
+			fail(err, "%v", err)
 		}
 		fmt.Printf("paged layout: %d pages of 4KiB\n", pages)
 	}
@@ -126,7 +158,7 @@ func main() {
 		cancel()
 		elapsed := time.Since(start)
 		if err != nil {
-			fail("%q: %v", q, err)
+			fail(err, "%q: %v", q, err)
 		}
 		fmt.Printf("\nquery  %s\n", q)
 		fmt.Printf("hits   %d in %v\n", len(ids), elapsed.Round(time.Microsecond))

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"xseq"
 )
 
 func writeCorpus(t *testing.T, content string) string {
@@ -74,5 +79,37 @@ func TestRecBuffer(t *testing.T) {
 	}
 	if b.String() != "hello world" {
 		t.Fatalf("buffer = %q", b.String())
+	}
+}
+
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, exitOK},
+		{"generic", errors.New("boom"), exitData},
+		{"parse", fmt.Errorf("corpus x: %w", errors.New("malformed XML")), exitData},
+		{"limit", fmt.Errorf("parse: %w", &xseq.LimitError{Kind: "depth", Limit: 4}), exitData},
+		{"deadline", context.DeadlineExceeded, exitTimeout},
+		{"wrapped deadline", fmt.Errorf("build: %w", context.DeadlineExceeded), exitTimeout},
+		{"cancelled", fmt.Errorf("query: %w", context.Canceled), exitTimeout},
+		{"corrupt", &xseq.CorruptError{Reason: "checksum mismatch"}, exitCorrupt},
+		{"wrapped corrupt", fmt.Errorf("load: %w", &xseq.CorruptError{Reason: "truncated"}), exitCorrupt},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestExitCodesDistinct pins the contract that scripts rely on: every
+// failure class maps to its own code.
+func TestExitCodesDistinct(t *testing.T) {
+	codes := map[int]string{exitOK: "ok", exitData: "data", exitUsage: "usage", exitTimeout: "timeout", exitCorrupt: "corrupt"}
+	if len(codes) != 5 {
+		t.Fatalf("exit codes collide: %v", codes)
 	}
 }

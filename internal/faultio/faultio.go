@@ -1,10 +1,12 @@
 // Package faultio provides fault-injection primitives for resilience
 // testing: readers and writers that fail, truncate, or short-write at a
 // chosen point, call-count triggers, stream corrupters, and flaky/panicky
-// wrappers for index.Builder. Production code never imports this package;
-// tests use it to prove that every failure path — torn persistence writes,
-// truncated or bit-flipped load streams, builders that die mid-compaction —
-// degrades gracefully instead of corrupting state or crashing.
+// wrappers for index.Builder. Tests use it to prove that every failure
+// path — torn persistence writes, truncated or bit-flipped load streams,
+// builders that die mid-compaction — degrades gracefully instead of
+// corrupting state or crashing. The only serving-path importer is the
+// opt-in chaos middleware in internal/server, which stays inert unless
+// explicitly armed.
 package faultio
 
 import (
@@ -20,23 +22,42 @@ import (
 // ErrInjected is the default error injected by the fault primitives.
 var ErrInjected = errors.New("faultio: injected fault")
 
-// Trigger fires on the Nth hit (1-based): Hit returns true on hit number N
-// and on every later hit. A Trigger with N <= 0 never fires. Safe for
-// concurrent use.
+// Trigger decides, by call count, which hits a fault fires on. Three
+// firing modes exist: After(n) fires on hit n (1-based) and every later
+// hit, Between(from, to) fires on hits from..to inclusive and then goes
+// quiet, and Every(n) fires on every nth hit (n, 2n, ...). A nil Trigger
+// (or one constructed with n <= 0) never fires. Safe for concurrent use.
 type Trigger struct {
-	n    int64
-	hits atomic.Int64
+	from, to int64 // window mode: fire on hits in [from, to] (to 0: open)
+	every    int64 // modular mode: fire on multiples of every
+	hits     atomic.Int64
 }
 
 // After returns a Trigger firing from the nth Hit on.
-func After(n int) *Trigger { return &Trigger{n: int64(n)} }
+func After(n int) *Trigger { return &Trigger{from: int64(n)} }
+
+// Between returns a Trigger firing on hits from..to (1-based, inclusive)
+// and never again after — a fault window that heals, e.g. Between(1, 1)
+// for a fault on exactly the first hit.
+func Between(from, to int) *Trigger { return &Trigger{from: int64(from), to: int64(to)} }
+
+// Every returns a Trigger firing on every nth Hit — a steady background
+// fault rate for chaos runs.
+func Every(n int) *Trigger { return &Trigger{every: int64(n)} }
 
 // Hit records one event and reports whether the trigger has fired.
 func (t *Trigger) Hit() bool {
-	if t == nil || t.n <= 0 {
+	if t == nil {
 		return false
 	}
-	return t.hits.Add(1) >= t.n
+	h := t.hits.Add(1)
+	if t.every > 0 {
+		return h%t.every == 0
+	}
+	if t.from <= 0 {
+		return false
+	}
+	return h >= t.from && (t.to == 0 || h <= t.to)
 }
 
 // Hits reports how many events have been recorded.

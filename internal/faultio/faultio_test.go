@@ -156,3 +156,45 @@ func TestPanickyBuilder(t *testing.T) {
 	b(context.Background(), nil)
 	t.Fatal("builder did not panic")
 }
+
+func TestTriggerBetween(t *testing.T) {
+	trig := Between(2, 3)
+	got := []bool{trig.Hit(), trig.Hit(), trig.Hit(), trig.Hit(), trig.Hit()}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Between(2,3) hits = %v, want %v", got, want)
+		}
+	}
+	once := Between(1, 1)
+	if !once.Hit() || once.Hit() || once.Hit() {
+		t.Fatal("Between(1,1) must fire exactly once")
+	}
+	if Between(0, 3).Hit() {
+		t.Fatal("Between with from <= 0 must never fire")
+	}
+}
+
+func TestTriggerEvery(t *testing.T) {
+	trig := Every(3)
+	var fired int
+	for i := 0; i < 9; i++ {
+		if trig.Hit() {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Every(3) fired %d times in 9 hits, want 3", fired)
+	}
+	if Every(0).Hit() {
+		t.Fatal("Every(0) must never fire")
+	}
+	all := Every(1)
+	if !all.Hit() || !all.Hit() {
+		t.Fatal("Every(1) must fire on every hit")
+	}
+	trig.Reset()
+	if trig.Hit() || trig.Hit() || !trig.Hit() {
+		t.Fatal("Reset must rearm the modular count")
+	}
+}

@@ -37,6 +37,8 @@ type Dynamic struct {
 	threshold int
 	compactAt int // buffer size that triggers the next auto-compaction
 	lastErr   error
+	compacts  int // successful compactions
+	failures  int // failed compaction attempts
 }
 
 // Builder constructs an index over a corpus; Dynamic calls it for the
@@ -211,6 +213,7 @@ func (d *Dynamic) compactLocked(ctx context.Context) error {
 	if err != nil {
 		cerr := &CompactionError{Docs: len(all), Err: err}
 		d.lastErr = cerr
+		d.failures++
 		return cerr
 	}
 	d.main = main
@@ -219,7 +222,22 @@ func (d *Dynamic) compactLocked(ctx context.Context) error {
 	d.delta = nil
 	d.compactAt = d.threshold
 	d.lastErr = nil
+	d.compacts++
 	return nil
+}
+
+// Compactions reports how many compactions have succeeded.
+func (d *Dynamic) Compactions() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.compacts
+}
+
+// FailedCompactions reports how many compaction attempts have failed.
+func (d *Dynamic) FailedCompactions() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.failures
 }
 
 // LastCompactionError returns the most recent compaction failure, or nil

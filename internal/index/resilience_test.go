@@ -411,3 +411,51 @@ func TestDynamicConcurrentFlakyCompaction(t *testing.T) {
 		t.Fatalf("post-storm answers diverge: got %v want %v", got, want)
 	}
 }
+
+// TestDynamicCompactionCounters checks the success/failure tallies that
+// back DynamicIndex.Health: failed attempts and successful compactions
+// count independently, and a success clears the sticky error but not the
+// history.
+func TestDynamicCompactionCounters(t *testing.T) {
+	docs := resilienceCorpus(t, 6)
+	// Call 1: initial build. Call 2: lazy delta. Call 3: failed Compact.
+	// Call 4: retried Compact, succeeds.
+	b := faultio.FlakyBuilderN(csBuilder(), 3, 3, nil)
+	d, err := index.NewDynamic(b, docs[:4], 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Compactions() != 0 || d.FailedCompactions() != 0 {
+		t.Fatalf("fresh counters = %d/%d", d.Compactions(), d.FailedCompactions())
+	}
+	for _, doc := range docs[4:] {
+		if err := d.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Query(query.MustParse("//A")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Compact() == nil {
+		t.Fatal("compaction should have failed")
+	}
+	if d.Compactions() != 0 || d.FailedCompactions() != 1 {
+		t.Fatalf("post-failure counters = %d/%d", d.Compactions(), d.FailedCompactions())
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Compactions() != 1 || d.FailedCompactions() != 1 {
+		t.Fatalf("post-success counters = %d/%d", d.Compactions(), d.FailedCompactions())
+	}
+	if d.LastCompactionError() != nil {
+		t.Fatal("success must clear the sticky error")
+	}
+	// An empty-buffer Compact is a no-op, not a counted compaction.
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Compactions() != 1 {
+		t.Fatalf("no-op compact counted: %d", d.Compactions())
+	}
+}

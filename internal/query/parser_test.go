@@ -194,6 +194,8 @@ func TestStringRoundTripParses(t *testing.T) {
 		"/site//item[location='United States']/mail/date[text='07/05/2000']",
 		"//closed_auction[seller/person='person11304']/date[text='12/15/1999']",
 		"/a[b][c/d]",
+		"/a[b]//c", // descendant continuation after a predicate renders as [//c]
+		"/a[//b][c]",
 	} {
 		p := MustParse(q)
 		s := p.String()

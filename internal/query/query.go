@@ -138,7 +138,12 @@ func writePNode(b *strings.Builder, n *PNode) {
 			var sub strings.Builder
 			writePNode(&sub, c)
 			s := sub.String()
-			b.WriteString(strings.TrimPrefix(s, "/"))
+			// A descendant-axis child keeps its "//" (the parser reads a
+			// bare leading "/" inside a predicate as the child axis).
+			if !strings.HasPrefix(s, "//") {
+				s = strings.TrimPrefix(s, "/")
+			}
+			b.WriteString(s)
 		}
 		b.WriteByte(']')
 	}

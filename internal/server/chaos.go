@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"xseq/internal/faultio"
+)
+
+// Chaos maps a request path ("/query") to the faults injected into it.
+// Chaos is the serving-layer face of internal/faultio: the same
+// call-count triggers that wrap builders and streams in tests here wrap
+// routes, so resilience drills (and the test suite) can demand "the 3rd
+// query hangs 200ms", "every 10th stats call 500s", or "the next request
+// panics mid-handler" — and prove the server degrades instead of dying.
+// An empty Chaos injects nothing and costs nothing.
+type Chaos map[string]ChaosFaults
+
+// ChaosFaults selects the faults for one route; nil triggers never fire.
+type ChaosFaults struct {
+	// Latency is slept before the handler runs, on requests where
+	// LatencyOn fires; the sleep respects the client disconnecting.
+	Latency   time.Duration
+	LatencyOn *faultio.Trigger
+	// ErrorOn short-circuits the request with a 500 before the handler.
+	ErrorOn *faultio.Trigger
+	// PanicOn panics mid-request — contained by recoverMiddleware into a
+	// 500, which is exactly what it exists to prove.
+	PanicOn *faultio.Trigger
+}
+
+// chaosMiddleware wires the configured faults in front of next. With an
+// empty configuration it returns next untouched.
+func chaosMiddleware(chaos Chaos, next http.Handler) http.Handler {
+	if len(chaos) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f, ok := chaos[r.URL.Path]; ok {
+			if f.Latency > 0 && f.LatencyOn.Hit() {
+				t := time.NewTimer(f.Latency)
+				select {
+				case <-t.C:
+				case <-r.Context().Done():
+					t.Stop()
+				}
+			}
+			if f.ErrorOn.Hit() {
+				writeError(w, http.StatusInternalServerError, "chaos: injected error")
+				return
+			}
+			if f.PanicOn.Hit() {
+				panic("chaos: injected panic")
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// recoverMiddleware converts a handler panic into a 500 response. Without
+// it net/http recovers too, but by killing the connection with no
+// response; with it one poisoned request costs its caller an error body
+// while the process and every other connection keep serving. Deferred
+// cleanups below the panic point (gate release, drain exit) run during
+// the unwind as usual, so no admission slot leaks.
+func recoverMiddleware(logf func(string, ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler { // deliberate abort, not a bug
+					panic(v)
+				}
+				logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				// Best effort: if the handler already wrote headers this
+				// is a no-op on the status line, but typically the panic
+				// fired before any write.
+				writeError(w, http.StatusInternalServerError, "internal panic (contained; see server log)")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errOverloaded reports that both the concurrency slots and the wait queue
+// are full; the caller answers 429 with a Retry-After hint.
+var errOverloaded = errors.New("server: overloaded: all slots and queue positions taken")
+
+// gate is the admission controller: at most maxConcurrent queries execute
+// at once, at most maxQueue more wait for a slot, and everything beyond
+// that is rejected immediately — load sheds at the door instead of piling
+// up goroutines until the process falls over.
+type gate struct {
+	slots chan struct{} // one token per executing query
+	queue chan struct{} // one token per waiting query
+
+	active  atomic.Int64 // currently executing
+	waiting atomic.Int64 // currently queued for a slot
+	// lifetime counters for /stats
+	admitted atomic.Int64
+	rejected atomic.Int64
+}
+
+func newGate(maxConcurrent, maxQueue int) *gate {
+	return &gate{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxQueue),
+	}
+}
+
+// acquire admits the caller, blocking in the bounded wait queue when all
+// slots are busy. It returns errOverloaded when the queue is full too, or
+// ctx.Err() when the caller's context ends while waiting. A nil return
+// must be paired with release().
+func (g *gate) acquire(ctx doneCtx) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.active.Add(1)
+		g.admitted.Add(1)
+		return nil
+	default:
+	}
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		g.rejected.Add(1)
+		return errOverloaded
+	}
+	g.waiting.Add(1)
+	defer func() {
+		g.waiting.Add(-1)
+		<-g.queue
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		g.active.Add(1)
+		g.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns the caller's slot.
+func (g *gate) release() {
+	g.active.Add(-1)
+	<-g.slots
+}
+
+// doneCtx is the slice of context.Context the gate needs; taking the
+// interface keeps gate testable without plumbing real requests.
+type doneCtx interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+// drainer tracks in-flight requests and coordinates graceful shutdown:
+// enter/exit bracket each request, begin flips the gate shut and returns a
+// channel closed once the last in-flight request exits. Unlike a
+// sync.WaitGroup, enter-vs-begin races are resolved under one lock, so a
+// request is either counted (and drained) or rejected — never lost.
+type drainer struct {
+	mu       sync.Mutex
+	draining bool
+	n        int
+	zero     chan struct{}
+}
+
+// enter registers one request; it reports false — and registers nothing —
+// once draining has begun.
+func (d *drainer) enter() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return false
+	}
+	d.n++
+	return true
+}
+
+// exit unregisters one request previously entered.
+func (d *drainer) exit() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n--
+	if d.draining && d.n == 0 && d.zero != nil {
+		close(d.zero)
+		d.zero = nil
+	}
+}
+
+// begin starts (or re-observes) draining and returns a channel that is
+// closed when no requests remain in flight.
+func (d *drainer) begin() <-chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch := make(chan struct{})
+	if !d.draining {
+		d.draining = true
+		d.zero = ch
+	} else if d.zero != nil {
+		return d.zero
+	}
+	if d.n == 0 {
+		if d.zero == ch {
+			d.zero = nil
+		}
+		close(ch)
+	}
+	return ch
+}
+
+// isDraining reports whether begin has been called.
+func (d *drainer) isDraining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}

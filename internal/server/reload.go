@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// Reload loads Config.IndexPath into a fresh snapshot and atomically swaps
+// it in; queries started before the swap finish on the old snapshot,
+// queries started after see the new one, and nothing blocks. On any load
+// failure — the file is corrupt, truncated, or missing — the old snapshot
+// stays published and keeps answering; the error is recorded for /healthz
+// and returned. cmd/xseqd wires this to SIGHUP; WatchFile calls it on
+// mtime change.
+func (s *Server) Reload() error {
+	mtime, size := statFile(s.cfg.IndexPath)
+	cur, err := s.swap.SwapFromFile(s.cfg.IndexPath)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reloads++
+	if err != nil {
+		s.reloadFailures++
+		s.lastReloadErr = err
+		s.cfg.Logf("server: reload of %s failed (still serving previous snapshot): %v", s.cfg.IndexPath, err)
+		return err
+	}
+	s.lastReloadErr = nil
+	s.loadedAt = time.Now()
+	s.snapMTime, s.snapSize = mtime, size
+	s.cfg.Logf("server: reloaded %s: %d documents", s.cfg.IndexPath, cur.Stats().Documents)
+	return nil
+}
+
+// WatchFile polls Config.IndexPath every interval and calls Reload when
+// the file's mtime or size changes, until ctx is cancelled. A failed
+// reload (recorded in /healthz) is retried on the next observed change —
+// a rewritten-but-corrupt file does not wedge the watcher.
+func (s *Server) WatchFile(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		mtime, size := statFile(s.cfg.IndexPath)
+		if mtime.IsZero() {
+			continue // transiently missing (mid-rename); keep serving
+		}
+		s.mu.Lock()
+		changed := !mtime.Equal(s.snapMTime) || size != s.snapSize
+		if changed {
+			// Record what we observed even if the reload fails, so one
+			// bad file version is attempted once, not every tick.
+			s.snapMTime, s.snapSize = mtime, size
+		}
+		s.mu.Unlock()
+		if changed {
+			_ = s.Reload() // failure recorded in health; old snapshot serves
+		}
+	}
+}
+
+// statFile reports path's mtime and size, zero values when unreadable.
+func statFile(path string) (time.Time, int64) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return time.Time{}, 0
+	}
+	return fi.ModTime(), fi.Size()
+}

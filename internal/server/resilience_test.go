@@ -1,0 +1,329 @@
+// Resilience suite: proves the serving guarantees ISSUE 2 names — overload
+// sheds with 429 while admitted requests succeed, drain completes in-flight
+// queries within its budget (and force-cancels past it), a corrupt hot
+// reload leaves the old snapshot serving and surfaces through /healthz,
+// and chaos-injected faults (latency, errors, panics) degrade single
+// requests without hurting the process. Everything here runs under -race
+// in CI.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xseq"
+	"xseq/internal/faultio"
+)
+
+// TestOverloadSheds429 floods a 2-slot, 2-queue server with 10 concurrent
+// requests while the admitted ones are pinned in flight: exactly 6 must be
+// rejected with 429 + Retry-After, and all 4 admitted (executing or
+// queued) must succeed once unpinned.
+func TestOverloadSheds429(t *testing.T) {
+	srv, ts := newTestServer(t, 3, func(c *Config) {
+		c.MaxConcurrent = 2
+		c.MaxQueue = 2
+	})
+	block := make(chan struct{})
+	srv.testHookAdmitted = func(context.Context) { <-block }
+
+	const total = 10
+	type result struct {
+		code       int
+		retryAfter string
+		count      int
+	}
+	results := make(chan result, total)
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < total; i++ {
+		go func() {
+			start.Wait()
+			resp, err := http.Get(ts.URL + "/query?q=" + matchAll)
+			if err != nil {
+				t.Errorf("GET: %v", err)
+				results <- result{code: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var qr queryResponse
+			_ = json.NewDecoder(resp.Body).Decode(&qr)
+			results <- result{resp.StatusCode, resp.Header.Get("Retry-After"), qr.Count}
+		}()
+	}
+	start.Done()
+
+	// The 6 overflow requests answer immediately; the 4 in-flight ones
+	// hold until released.
+	var rejected []result
+	for len(rejected) < total-4 {
+		select {
+		case r := <-results:
+			rejected = append(rejected, r)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d rejections arrived", len(rejected))
+		}
+	}
+	for _, r := range rejected {
+		if r.code != http.StatusTooManyRequests {
+			t.Fatalf("overflow request = %d, want 429", r.code)
+		}
+		if r.retryAfter == "" {
+			t.Fatal("429 without Retry-After")
+		}
+	}
+	close(block)
+	for i := 0; i < 4; i++ {
+		select {
+		case r := <-results:
+			if r.code != http.StatusOK || r.count != 3 {
+				t.Fatalf("admitted request = %+v, want 200 with 3 ids", r)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("admitted request never completed")
+		}
+	}
+	if got := srv.gate.rejected.Load(); got != total-4 {
+		t.Fatalf("gate rejected = %d, want %d", got, total-4)
+	}
+}
+
+// TestDrainCompletesInFlight holds 3 queries in flight, starts a drain
+// with a generous budget, verifies mid-drain arrivals get 503, then
+// releases the queries: the drain must finish promptly and every held
+// query must succeed.
+func TestDrainCompletesInFlight(t *testing.T) {
+	srv, ts := newTestServer(t, 3, func(c *Config) { c.MaxConcurrent = 8 })
+	block := make(chan struct{})
+	var admitted atomic.Int64
+	srv.testHookAdmitted = func(context.Context) {
+		admitted.Add(1)
+		<-block
+	}
+
+	codes := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			code, _, _ := getQuery(t, ts.URL, "q="+matchAll)
+			codes <- code
+		}()
+	}
+	waitFor(t, func() bool { return admitted.Load() == 3 })
+
+	drainErr := make(chan error, 1)
+	drainStart := time.Now()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainErr <- srv.Drain(ctx)
+	}()
+	waitFor(t, srv.dr.isDraining)
+
+	if code, _ := get(t, ts.URL+"/query?q="+matchAll); code != http.StatusServiceUnavailable {
+		t.Fatalf("mid-drain query = %d, want 503", code)
+	}
+
+	close(block)
+	select {
+	case err := <-drainErr:
+		if err != nil {
+			t.Fatalf("drain = %v, want clean nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never returned")
+	}
+	if elapsed := time.Since(drainStart); elapsed > 20*time.Second {
+		t.Fatalf("drain took %v", elapsed)
+	}
+	for i := 0; i < 3; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("in-flight query during drain = %d, want 200", code)
+		}
+	}
+}
+
+// TestDrainCancelsStragglers pins 2 well-behaved queries (they wait on
+// their own contexts) and drains with a tiny budget: Drain must cancel
+// them, wait for the unwind, and return the budget error — all well within
+// test time. The cancelled queries answer 503.
+func TestDrainCancelsStragglers(t *testing.T) {
+	srv, ts := newTestServer(t, 3, func(c *Config) { c.MaxConcurrent = 4 })
+	var admitted atomic.Int64
+	srv.testHookAdmitted = func(ctx context.Context) {
+		admitted.Add(1)
+		<-ctx.Done() // a slow query that honours cancellation
+	}
+
+	codes := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			code, _, _ := getQuery(t, ts.URL, "q="+matchAll)
+			codes <- code
+		}()
+	}
+	waitFor(t, func() bool { return admitted.Load() == 2 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := srv.Drain(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("forced drain took %v — stragglers did not unwind", elapsed)
+	}
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusServiceUnavailable {
+			t.Fatalf("cancelled query = %d, want 503", code)
+		}
+	}
+}
+
+// TestCorruptReloadKeepsServing overwrites the snapshot with garbage and
+// reloads: the error is a *CorruptError, queries keep answering from the
+// old snapshot, and /healthz reports degraded with the error text. A
+// subsequent good snapshot heals everything.
+func TestCorruptReloadKeepsServing(t *testing.T) {
+	srv, ts := newTestServer(t, 2, nil)
+	path := srv.cfg.IndexPath
+
+	if code, qr, _ := getQuery(t, ts.URL, "q="+matchAll); code != 200 || qr.Count != 2 {
+		t.Fatalf("pre-corruption query = %d, %+v", code, qr)
+	}
+
+	if err := os.WriteFile(path, []byte("this is not an index snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := srv.Reload()
+	var ce *xseq.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("reload of garbage = %v, want *CorruptError", err)
+	}
+
+	if code, qr, _ := getQuery(t, ts.URL, "q="+matchAll); code != 200 || qr.Count != 2 {
+		t.Fatalf("post-corruption query = %d, %+v — old snapshot must keep serving", code, qr)
+	}
+	code, body := get(t, ts.URL+"/healthz")
+	var h healthResponse
+	if code != 200 || json.Unmarshal(body, &h) != nil {
+		t.Fatalf("healthz = %d %s", code, body)
+	}
+	if h.Status != "degraded" || h.Snapshot.LastReloadError == "" || h.Snapshot.ReloadFailures != 1 {
+		t.Fatalf("degraded healthz = %+v", h)
+	}
+
+	buildSnapshot(t, path, 5, false)
+	if err := srv.Reload(); err != nil {
+		t.Fatalf("reload of good snapshot = %v", err)
+	}
+	if code, qr, _ := getQuery(t, ts.URL, "q="+matchAll); code != 200 || qr.Count != 5 {
+		t.Fatalf("post-heal query = %d, %+v", code, qr)
+	}
+	code, body = get(t, ts.URL+"/healthz")
+	var healed healthResponse
+	if json.Unmarshal(body, &healed) != nil || code != 200 || healed.Status != "ok" || healed.Snapshot.LastReloadError != "" {
+		t.Fatalf("healed healthz = %d %+v", code, healed)
+	}
+}
+
+// TestWatchFileHotReload rewrites the snapshot on disk and waits for the
+// mtime watcher to swap it in with no explicit Reload call.
+func TestWatchFileHotReload(t *testing.T) {
+	srv, ts := newTestServer(t, 2, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.WatchFile(ctx, 20*time.Millisecond)
+
+	buildSnapshot(t, srv.cfg.IndexPath, 4, false)
+	waitFor(t, func() bool {
+		_, qr, _ := getQuery(t, ts.URL, "q="+matchAll)
+		return qr.Count == 4
+	})
+}
+
+// TestChaosLatency injects latency into every /query and measures it.
+func TestChaosLatency(t *testing.T) {
+	_, ts := newTestServer(t, 1, func(c *Config) {
+		c.Chaos = Chaos{"/query": {Latency: 100 * time.Millisecond, LatencyOn: faultio.Every(1)}}
+	})
+	start := time.Now()
+	if code, _, _ := getQuery(t, ts.URL, "q="+matchAll); code != 200 {
+		t.Fatalf("query = %d", code)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("latency not injected: %v", elapsed)
+	}
+}
+
+// TestChaosErrorAndPanicContained injects a 500 on the first /query and a
+// mid-request panic on the second: both answer 500, and the third query —
+// and the process — are untouched.
+func TestChaosErrorAndPanicContained(t *testing.T) {
+	_, ts := newTestServer(t, 2, func(c *Config) {
+		c.Chaos = Chaos{"/query": {
+			ErrorOn: faultio.Between(1, 1),
+			PanicOn: faultio.Between(1, 1), // its first Hit is request 2
+		}}
+	})
+	code, _, body := getQuery(t, ts.URL, "q="+matchAll)
+	if code != http.StatusInternalServerError || !contains(body, "chaos: injected error") {
+		t.Fatalf("chaos error request = %d %s", code, body)
+	}
+	code, _, body = getQuery(t, ts.URL, "q="+matchAll)
+	if code != http.StatusInternalServerError || !contains(body, "internal panic") {
+		t.Fatalf("chaos panic request = %d %s", code, body)
+	}
+	if code, qr, _ := getQuery(t, ts.URL, "q="+matchAll); code != 200 || qr.Count != 2 {
+		t.Fatalf("post-chaos query = %d, %+v — process must keep serving", code, qr)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("post-panic healthz = %d", code)
+	}
+}
+
+// TestPanicInHandlerReleasesSlot panics inside the admitted section of a
+// 1-slot server: the recover middleware must answer 500 and the deferred
+// gate release must run during the unwind, or the second query would hang.
+func TestPanicInHandlerReleasesSlot(t *testing.T) {
+	srv, ts := newTestServer(t, 1, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.MaxQueue = 1
+	})
+	var fired atomic.Bool
+	srv.testHookAdmitted = func(context.Context) {
+		if fired.CompareAndSwap(false, true) {
+			panic("test: poisoned request")
+		}
+	}
+	code, _, _ := getQuery(t, ts.URL, "q="+matchAll)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("poisoned query = %d, want 500", code)
+	}
+	if code, qr, _ := getQuery(t, ts.URL, "q="+matchAll); code != 200 || qr.Count != 1 {
+		t.Fatalf("follow-up query = %d, %+v — admission slot leaked", code, qr)
+	}
+	if active := srv.gate.active.Load(); active != 0 {
+		t.Fatalf("gate active = %d after requests finished", active)
+	}
+}
+
+// TestQueryDeadline504 sends a query whose deadline is already unmeetable.
+func TestQueryDeadline504(t *testing.T) {
+	srv, ts := newTestServer(t, 1, nil)
+	srv.testHookAdmitted = func(ctx context.Context) { <-ctx.Done() }
+	code, _, body := getQuery(t, ts.URL, "q="+matchAll+"&timeout=30ms")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("expired query = %d %s, want 504", code, body)
+	}
+}
+
+func contains(b []byte, sub string) bool { return strings.Contains(string(b), sub) }

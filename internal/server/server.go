@@ -1,0 +1,410 @@
+// Package server implements xseqd's HTTP serving layer: an overload-safe
+// query front end over a loaded index snapshot. The design goals, in
+// order, are (1) bounded resource use under overload — admission control
+// sheds excess load with 429 + Retry-After instead of queueing without
+// bound; (2) bounded latency — every query runs under a deadline wired
+// into the index's context-aware match loops; (3) zero-downtime operations
+// — snapshots hot-reload with an atomic swap and a corrupt replacement
+// file leaves the old snapshot serving; and (4) clean shutdown — drain
+// stops admission, waits out in-flight queries, and cancels stragglers
+// once the drain budget is spent.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xseq"
+	"xseq/internal/query"
+)
+
+// Config tunes a Server. The zero value of every field means "use the
+// default" noted on it; IndexPath is the only required field.
+type Config struct {
+	// IndexPath is the SaveFile snapshot to serve; Reload and WatchFile
+	// re-read it.
+	IndexPath string
+	// MaxConcurrent bounds queries executing at once (default 32).
+	MaxConcurrent int
+	// MaxQueue bounds queries waiting for a slot (default 2*MaxConcurrent);
+	// arrivals beyond slots+queue get 429.
+	MaxQueue int
+	// DefaultTimeout is the per-query deadline when the request names none
+	// (default 5s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested ?timeout (default 60s).
+	MaxTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Chaos, when non-empty, injects per-route faults (latency, errors,
+	// panics) for resilience drills; leave nil in production.
+	Chaos Chaos
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 32
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server serves /query, /stats, /healthz, and /readyz over an atomically
+// swappable index snapshot. It implements http.Handler; the caller owns
+// the http.Server (or httptest.Server) in front of it.
+type Server struct {
+	cfg     Config
+	swap    *xseq.Swapper
+	gate    *gate
+	dr      *drainer
+	handler http.Handler
+	started time.Time
+
+	// baseCtx is cancelled to abort every in-flight query once the drain
+	// budget is exhausted.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	queries     atomic.Int64
+	queryErrors atomic.Int64
+
+	mu             sync.Mutex
+	loadedAt       time.Time
+	snapMTime      time.Time // IndexPath mtime at last successful load
+	snapSize       int64
+	reloads        int
+	reloadFailures int
+	lastReloadErr  error
+
+	// testHookAdmitted, when set, runs after admission with the query's
+	// context — tests use it to hold slots deterministically.
+	testHookAdmitted func(ctx context.Context)
+}
+
+// New loads the initial snapshot from cfg.IndexPath and returns a ready
+// Server. A server never starts without a valid snapshot; later reload
+// failures degrade instead.
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	if cfg.IndexPath == "" {
+		return nil, fmt.Errorf("server: Config.IndexPath is required")
+	}
+	ix, err := xseq.LoadFile(cfg.IndexPath)
+	if err != nil {
+		return nil, fmt.Errorf("server: initial snapshot: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		swap:    xseq.NewSwapper(ix),
+		gate:    newGate(cfg.MaxConcurrent, cfg.MaxQueue),
+		dr:      &drainer{},
+		started: time.Now(),
+	}
+	s.loadedAt = time.Now()
+	s.snapMTime, s.snapSize = statFile(cfg.IndexPath)
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	s.handler = recoverMiddleware(cfg.Logf, chaosMiddleware(cfg.Chaos, mux))
+	return s, nil
+}
+
+// ServeHTTP dispatches to the route handlers through the chaos (if armed)
+// and panic-recovery middleware.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Drain stops admitting queries (readyz flips to 503, /query answers 503)
+// and waits for in-flight ones — executing and queued — to finish. If ctx
+// expires first, every in-flight query's context is cancelled; the match
+// loops poll their contexts, so stragglers unwind promptly and Drain still
+// waits for them before returning ctx.Err(). A nil error means everything
+// completed within the budget.
+func (s *Server) Drain(ctx context.Context) error {
+	zero := s.dr.begin()
+	select {
+	case <-zero:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-zero
+		return ctx.Err()
+	}
+}
+
+// queryResponse is the /query success body.
+type queryResponse struct {
+	Query     string  `json:"query"`
+	Count     int     `json:"count"`
+	IDs       []int32 `json:"ids"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	params := r.URL.Query()
+	q := params.Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter q")
+		return
+	}
+	// Pre-parse so malformed queries are the client's 400, not a 500 —
+	// the facade re-parses, but parsing is microseconds against a match.
+	if _, err := query.Parse(q); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit := 0
+	if v := params.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	verify := params.Get("verify") == "1" || params.Get("verify") == "true"
+	timeout := s.cfg.DefaultTimeout
+	if v := params.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout %q", v))
+			return
+		}
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		timeout = d
+	}
+
+	if !s.dr.enter() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.dr.exit()
+
+	// The query context ends at the first of: client disconnect, the
+	// per-request deadline, or the server's drain-budget cancellation.
+	ctx, cancelReq := context.WithTimeout(r.Context(), timeout)
+	defer cancelReq()
+	stopAfter := context.AfterFunc(s.baseCtx, cancelReq)
+	defer stopAfter()
+
+	if err := s.gate.acquire(ctx); err != nil {
+		if errors.Is(err, errOverloaded) {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		// Context ended while queued: deadline or disconnect/drain.
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued for admission")
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "cancelled while queued for admission")
+		}
+		return
+	}
+	defer s.gate.release()
+	if hook := s.testHookAdmitted; hook != nil {
+		hook(ctx)
+	}
+
+	ix := s.swap.Current()
+	start := time.Now()
+	var ids []int32
+	var err error
+	switch {
+	case verify:
+		ids, err = ix.QueryVerifiedContext(ctx, q)
+	case limit > 0:
+		ids, err = ix.QueryLimitContext(ctx, q, limit)
+	default:
+		ids, err = ix.QueryContext(ctx, q)
+	}
+	elapsed := time.Since(start)
+	s.queries.Add(1)
+	if err != nil {
+		s.queryErrors.Add(1)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("query deadline exceeded after %v", elapsed.Round(time.Millisecond)))
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "query cancelled (drain or client disconnect)")
+		case strings.Contains(err.Error(), "KeepDocuments"):
+			writeError(w, http.StatusBadRequest, "verify=1 requires a snapshot built with KeepDocuments")
+		default:
+			s.cfg.Logf("server: query %q failed: %v", q, err)
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	if ids == nil {
+		ids = []int32{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Query:     q,
+		Count:     len(ids),
+		IDs:       ids,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// statsResponse is the /stats body: index shape, admission counters, and
+// reload history.
+type statsResponse struct {
+	Index struct {
+		Documents          int   `json:"documents"`
+		IndexNodes         int   `json:"index_nodes"`
+		Links              int   `json:"links"`
+		EstimatedDiskBytes int64 `json:"estimated_disk_bytes"`
+	} `json:"index"`
+	Admission struct {
+		MaxConcurrent int   `json:"max_concurrent"`
+		MaxQueue      int   `json:"max_queue"`
+		Active        int64 `json:"active"`
+		Waiting       int64 `json:"waiting"`
+		Admitted      int64 `json:"admitted"`
+		Rejected      int64 `json:"rejected"`
+	} `json:"admission"`
+	Snapshot snapshotStatus `json:"snapshot"`
+	Queries  int64          `json:"queries"`
+	Errors   int64          `json:"query_errors"`
+	UptimeMS float64        `json:"uptime_ms"`
+	Draining bool           `json:"draining"`
+}
+
+type snapshotStatus struct {
+	Path            string    `json:"path"`
+	LoadedAt        time.Time `json:"loaded_at"`
+	Reloads         int       `json:"reloads"`
+	ReloadFailures  int       `json:"reload_failures"`
+	LastReloadError string    `json:"last_reload_error,omitempty"`
+}
+
+func (s *Server) snapshotStatus() snapshotStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := snapshotStatus{
+		Path:           s.cfg.IndexPath,
+		LoadedAt:       s.loadedAt,
+		Reloads:        s.reloads,
+		ReloadFailures: s.reloadFailures,
+	}
+	if s.lastReloadErr != nil {
+		st.LastReloadError = s.lastReloadErr.Error()
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	st := s.swap.Current().Stats()
+	resp.Index.Documents = st.Documents
+	resp.Index.IndexNodes = st.IndexNodes
+	resp.Index.Links = st.Links
+	resp.Index.EstimatedDiskBytes = st.EstimatedDiskBytes
+	resp.Admission.MaxConcurrent = s.cfg.MaxConcurrent
+	resp.Admission.MaxQueue = s.cfg.MaxQueue
+	resp.Admission.Active = s.gate.active.Load()
+	resp.Admission.Waiting = s.gate.waiting.Load()
+	resp.Admission.Admitted = s.gate.admitted.Load()
+	resp.Admission.Rejected = s.gate.rejected.Load()
+	resp.Snapshot = s.snapshotStatus()
+	resp.Queries = s.queries.Load()
+	resp.Errors = s.queryErrors.Load()
+	resp.UptimeMS = float64(time.Since(s.started)) / float64(time.Millisecond)
+	resp.Draining = s.dr.isDraining()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthResponse is the /healthz body. The endpoint is liveness plus
+// degradation detail: it answers 200 as long as the process can serve at
+// all, with status "degraded" (and the error) when the last snapshot
+// reload failed — the old snapshot keeps serving, mirroring the
+// keep-serving-on-failure discipline of Dynamic compaction.
+type healthResponse struct {
+	Status    string         `json:"status"` // "ok" | "degraded"
+	Documents int            `json:"documents"`
+	Snapshot  snapshotStatus `json:"snapshot"`
+	Draining  bool           `json:"draining"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Status:    "ok",
+		Documents: s.swap.Current().Stats().Documents,
+		Snapshot:  s.snapshotStatus(),
+		Draining:  s.dr.isDraining(),
+	}
+	if resp.Snapshot.LastReloadError != "" {
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReadyz reports readiness for traffic: 503 while draining (load
+// balancers should stop routing here), 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.dr.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// errorResponse is the JSON error body every non-2xx response carries.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

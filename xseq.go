@@ -28,6 +28,7 @@ import (
 	"io"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 
 	"xseq/internal/index"
 	"xseq/internal/pager"
@@ -263,14 +264,22 @@ func (ix *Index) QueryVerifiedContext(ctx context.Context, q string) (ids []int3
 }
 
 // QueryLimit is Query that stops after max distinct documents (max <= 0:
-// unlimited). Useful for existence tests and first-page results.
-func (ix *Index) QueryLimit(q string, max int) (ids []int32, err error) {
+// unlimited). Useful for existence tests and first-page results. It is
+// QueryLimitContext with context.Background().
+func (ix *Index) QueryLimit(q string, max int) ([]int32, error) {
+	return ix.QueryLimitContext(context.Background(), q, max)
+}
+
+// QueryLimitContext is QueryLimit honouring ctx: the deadline/cancellation
+// semantics of QueryContext combined with the result cap — the entry point
+// a serving layer uses for first-page queries under a request deadline.
+func (ix *Index) QueryLimitContext(ctx context.Context, q string, max int) (ids []int32, err error) {
 	defer guard(&err)
 	pat, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return ix.ix.QueryWith(pat, index.QueryOptions{MaxResults: max})
+	return ix.ix.QueryWithContext(ctx, pat, index.QueryOptions{MaxResults: max})
 }
 
 // Explain reports the work a query performed.
@@ -417,6 +426,51 @@ func LoadFile(path string) (_ *Index, err error) {
 	return &Index{ix: inner}, nil
 }
 
+// Swapper publishes the live snapshot of an index and atomically swaps in
+// replacements — the serving-side counterpart of SaveFile/LoadFile. Readers
+// call Current once per query and keep using that snapshot for the whole
+// operation; a concurrent swap never disturbs them. Safe for concurrent use.
+type Swapper struct {
+	p atomic.Pointer[Index]
+}
+
+// NewSwapper starts a Swapper serving ix (which may be nil: Current returns
+// nil until the first successful swap).
+func NewSwapper(ix *Index) *Swapper {
+	s := &Swapper{}
+	if ix != nil {
+		s.p.Store(ix)
+	}
+	return s
+}
+
+// Current returns the snapshot being served right now.
+func (s *Swapper) Current() *Index { return s.p.Load() }
+
+// Swap publishes ix as the new serving snapshot and returns the previous
+// one. A nil ix is a no-op that returns the current snapshot: a swap can
+// never un-publish a working index.
+func (s *Swapper) Swap(ix *Index) (prev *Index) {
+	if ix == nil {
+		return s.p.Load()
+	}
+	return s.p.Swap(ix)
+}
+
+// SwapFromFile loads path (a SaveFile snapshot) and, only on success, swaps
+// it in. On any failure — missing file, *CorruptError, short read — the
+// previous snapshot stays published and keeps serving; the error is
+// returned alongside it. The returned index is whatever is current after
+// the call: the fresh snapshot on success, the surviving old one on error.
+func (s *Swapper) SwapFromFile(path string) (*Index, error) {
+	ix, err := LoadFile(path)
+	if err != nil {
+		return s.p.Load(), err
+	}
+	s.p.Store(ix)
+	return ix, nil
+}
+
 // DynamicIndex is an updatable index: documents can be inserted after
 // construction. New documents buffer in a small delta index; queries span
 // main + delta, and the delta folds into the main index on Compact (or
@@ -514,6 +568,42 @@ func (d *DynamicIndex) NumDocuments() int { return d.d.NumDocuments() }
 
 // PendingDocuments reports how many documents await compaction.
 func (d *DynamicIndex) PendingDocuments() int { return d.d.PendingDocuments() }
+
+// Health summarizes a DynamicIndex's serving condition for health
+// endpoints. Degraded means the most recent compaction failed; the index is
+// still fully serviceable (queries answer over the pre-compaction state
+// plus the delta) and compaction retries automatically, so Degraded is a
+// "needs attention", not an outage.
+type Health struct {
+	// Documents is the total corpus size including buffered documents.
+	Documents int
+	// Pending is the number of documents awaiting compaction.
+	Pending int
+	// Compactions counts successful compactions over the index's life.
+	Compactions int
+	// FailedCompactions counts compaction attempts that failed.
+	FailedCompactions int
+	// LastCompactionError is the most recent compaction failure rendered
+	// as text, "" when the last compaction succeeded (or none ever ran).
+	LastCompactionError string
+	// Degraded reports LastCompactionError != "".
+	Degraded bool
+}
+
+// Health returns the serving-condition summary.
+func (d *DynamicIndex) Health() Health {
+	h := Health{
+		Documents:         d.d.NumDocuments(),
+		Pending:           d.d.PendingDocuments(),
+		Compactions:       d.d.Compactions(),
+		FailedCompactions: d.d.FailedCompactions(),
+	}
+	if err := d.d.LastCompactionError(); err != nil {
+		h.LastCompactionError = err.Error()
+		h.Degraded = true
+	}
+	return h
+}
 
 // IOStats reports simulated disk I/O counters (all zero until EnablePagedIO).
 type IOStats struct {

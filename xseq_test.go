@@ -2,6 +2,10 @@ package xseq
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -397,5 +401,129 @@ func TestMixedRootCorpus(t *testing.T) {
 	}
 	if len(got) != 1 || got[0] != 2 {
 		t.Fatalf("forest query = %v", got)
+	}
+}
+
+func TestQueryLimitContext(t *testing.T) {
+	ix := buildCorpus(t, Config{})
+	ids, err := ix.QueryLimitContext(context.Background(), "//L[text='boston']", 1)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("limited = %v, %v", ids, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.QueryLimitContext(ctx, "//L[text='boston']", 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled limit query = %v, want context.Canceled", err)
+	}
+	if _, err := ix.QueryLimitContext(context.Background(), "/[", 1); err == nil {
+		t.Fatal("bad query should fail")
+	}
+	// The plain entry point must stay equivalent.
+	plain, err := ix.QueryLimit("//L[text='boston']", 1)
+	if err != nil || len(plain) != 1 {
+		t.Fatalf("QueryLimit = %v, %v", plain, err)
+	}
+}
+
+func TestSwapper(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.idx")
+	ix1 := buildCorpus(t, Config{})
+	if err := ix1.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	sw := NewSwapper(ix1)
+	if sw.Current() != ix1 {
+		t.Fatal("Current != initial")
+	}
+	if sw.Swap(nil) != ix1 || sw.Current() != ix1 {
+		t.Fatal("Swap(nil) must keep the current snapshot published")
+	}
+
+	// Successful file swap publishes the fresh snapshot.
+	got, err := sw.SwapFromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == ix1 || sw.Current() != got {
+		t.Fatal("SwapFromFile did not publish the fresh snapshot")
+	}
+	if ids, err := sw.Current().Query("//L[text='boston']"); err != nil || len(ids) != 2 {
+		t.Fatalf("swapped snapshot query = %v, %v", ids, err)
+	}
+
+	// A corrupt file must leave the old snapshot serving.
+	prev := sw.Current()
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sw.SwapFromFile(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupt swap error = %v, want *CorruptError", err)
+	}
+	if cur != prev || sw.Current() != prev {
+		t.Fatal("corrupt swap must not disturb the published snapshot")
+	}
+
+	// Nil-seeded swapper serves nothing until the first success.
+	empty := NewSwapper(nil)
+	if empty.Current() != nil {
+		t.Fatal("nil-seeded Current != nil")
+	}
+	if _, err := empty.SwapFromFile(path); err == nil {
+		t.Fatal("corrupt first swap should fail")
+	}
+	if empty.Current() != nil {
+		t.Fatal("failed first swap must not publish anything")
+	}
+}
+
+func TestDynamicHealth(t *testing.T) {
+	d0, _ := ParseDocumentString(0, `<P><R><L>boston</L></R></P>`)
+	dyn, err := BuildDynamic([]*Document{d0}, Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := dyn.Health()
+	if h.Degraded || h.Documents != 1 || h.Pending != 0 || h.FailedCompactions != 0 {
+		t.Fatalf("fresh health = %+v", h)
+	}
+
+	// Drive an automatic compaction into failure with an already-cancelled
+	// context: the insert lands, the old state keeps serving, and Health
+	// reports degraded-but-serving.
+	d1, _ := ParseDocumentString(1, `<P><D><L>boston</L></D></P>`)
+	if err := dyn.Insert(d1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d2, _ := ParseDocumentString(2, `<P><R><L>newyork</L></R></P>`)
+	err = dyn.InsertContext(ctx, d2)
+	var cerr *CompactionError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("cancelled auto-compaction = %v, want *CompactionError", err)
+	}
+	h = dyn.Health()
+	if !h.Degraded || h.LastCompactionError == "" || h.FailedCompactions != 1 || h.Compactions != 0 {
+		t.Fatalf("degraded health = %+v", h)
+	}
+	if h.Documents != 3 || h.Pending != 2 {
+		t.Fatalf("degraded health counts = %+v", h)
+	}
+	// Still serving: all three documents answer.
+	if ids, err := dyn.Query("//L"); err != nil || len(ids) != 3 {
+		t.Fatalf("degraded query = %v, %v", ids, err)
+	}
+
+	// A successful compaction heals the summary.
+	if err := dyn.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	h = dyn.Health()
+	if h.Degraded || h.LastCompactionError != "" || h.Compactions != 1 || h.FailedCompactions != 1 || h.Pending != 0 {
+		t.Fatalf("healed health = %+v", h)
 	}
 }
