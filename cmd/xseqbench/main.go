@@ -6,10 +6,17 @@
 //
 //	xseqbench [-exp all|fig14a,table7,...] [-scale 0.02] [-seed 42]
 //	          [-queries 50] [-pool 256] [-list]
+//	xseqbench -json - [-dataset xmark] [-records 1000] [-shards 4] [-workers 4]
 //
 // Scale 1.0 reproduces paper-sized datasets (millions of records; takes a
 // long time and a lot of memory); the default keeps each experiment in
 // seconds while preserving the reported shapes.
+//
+// -json switches to the sharded-scaling benchmark: one corpus is built
+// monolithically and sharded (-shards partitions on -workers build
+// workers, both defaulting to GOMAXPROCS), random queries are timed on the
+// sharded index and equivalence-checked against the monolithic one, and a
+// single JSON object is written to the named file ("-" = stdout).
 //
 // Exit codes: 0 success, 1 data/experiment error, 2 usage, 3 timeout
 // (-timeout elapsed before the run finished), 4 corrupt index snapshot.
@@ -17,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -65,8 +73,19 @@ func main() {
 		chart   = flag.Bool("chart", false, "render figure experiments as ASCII charts too")
 		out     = flag.String("out", "", "also write the output to this file")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+
+		jsonOut = flag.String("json", "", "run the sharded-scaling benchmark and write its JSON result to this file ('-' = stdout)")
+		dataset = flag.String("dataset", "xmark", "corpus for -json: xmark, dblp, or a synth name like L3F5A25I0P40")
+		records = flag.Int("records", 1000, "corpus size for -json")
+		shards  = flag.Int("shards", 0, "shard count for -json (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "concurrent shard builds for -json (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *shards < 0 || *workers < 0 {
+		fmt.Fprintln(os.Stderr, "xseqbench: -shards and -workers must be >= 0")
+		os.Exit(exitUsage)
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -81,6 +100,40 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	if *jsonOut != "" {
+		res, err := bench.ShardScale(bench.ScaleConfig{
+			Dataset: *dataset,
+			Records: *records,
+			Shards:  *shards,
+			Workers: *workers,
+			Queries: *queries,
+			Seed:    *seed,
+			Context: ctx,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+			os.Exit(exitCode(err))
+		}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+			os.Exit(exitData)
+		}
+		blob = append(blob, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+			os.Exit(exitData)
+		}
+		if !res.Equivalent {
+			fmt.Fprintln(os.Stderr, "xseqbench: sharded results diverged from monolithic")
+			os.Exit(exitData)
+		}
+		return
+	}
+
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Queries: *queries, PoolPages: *pool, Context: ctx}
 	var selected []bench.Experiment
 	if *exps == "all" {

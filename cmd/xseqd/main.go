@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -51,6 +52,8 @@ func main() {
 		maxTO    = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested ?timeout")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before in-flight queries are cancelled")
 		watch    = flag.Duration("watch", 0, "poll the snapshot file at this interval and hot-reload on change (0 = SIGHUP only)")
+		shards   = flag.Int("shards", 0, "require the snapshot (and every reload) to have exactly this many shards (0 = accept any layout)")
+		workers  = flag.Int("workers", 0, "cap OS threads executing Go code, the parallelism of sharded query fan-out (0 = GOMAXPROCS default)")
 
 		chaosLatency      = flag.Duration("chaos-latency", 0, "chaos: latency injected into /query when -chaos-latency-every fires")
 		chaosLatencyEvery = flag.Int("chaos-latency-every", 0, "chaos: inject latency into every nth /query (0 = off)")
@@ -62,6 +65,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xseqd: -index is required")
 		os.Exit(2)
 	}
+	if *shards < 0 || *workers < 0 {
+		fmt.Fprintln(os.Stderr, "xseqd: -shards and -workers must be >= 0")
+		os.Exit(2)
+	}
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	cfg := server.Config{
 		IndexPath:      *index,
@@ -69,6 +79,7 @@ func main() {
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTO,
+		ExpectShards:   *shards,
 	}
 	if *chaosLatencyEvery > 0 || *chaosErrorEvery > 0 || *chaosPanicEvery > 0 {
 		faults := server.ChaosFaults{}

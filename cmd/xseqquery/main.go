@@ -8,6 +8,7 @@
 //	xseqquery -data corpus.xml -stats            # index statistics only
 //	xseqquery -data corpus.xml -io "/a/b"        # with simulated I/O costs
 //	xseqquery -data corpus.xml -verify "/a[b='x']"
+//	xseqquery -data corpus.xml -shards 8 "/a/b"  # partitioned parallel build + fan-out query
 //
 // Exit codes distinguish failure classes so scripts can react: 0 success,
 // 1 data error (parse, limit, I/O, bad query), 2 usage, 3 timeout
@@ -74,8 +75,19 @@ func main() {
 		saveIdx = flag.String("saveindex", "", "write the built index to this file (crash-safe: temp + fsync + rename)")
 		loadIdx = flag.String("loadindex", "", "load a previously saved index instead of building")
 		timeout = flag.Duration("timeout", 0, "abort build and each query after this duration (0 = no limit)")
+		shards  = flag.Int("shards", 0, "partition the index into this many shards built and queried in parallel (0/1 = monolithic)")
+		workers = flag.Int("workers", 0, "concurrent shard builds for -shards (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *shards < 0 || *workers < 0 {
+		fmt.Fprintln(os.Stderr, "xseqquery: -shards and -workers must be >= 0")
+		os.Exit(exitUsage)
+	}
+	if *ioSim && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "xseqquery: -io is monolithic-only (sharded indexes have no paged layout)")
+		os.Exit(exitUsage)
+	}
 
 	// withTimeout derives the deadline context each cancellable phase
 	// (build, every query) runs under.
@@ -101,7 +113,12 @@ func main() {
 			fail(err, "%v", err)
 		}
 		ctx, cancel := withTimeout()
-		ix, err = xseq.BuildContext(ctx, docs, xseq.Config{KeepDocuments: *verify || *saveIdx != "", TextValues: *text})
+		ix, err = xseq.BuildContext(ctx, docs, xseq.Config{
+			KeepDocuments: *verify || *saveIdx != "",
+			TextValues:    *text,
+			Shards:        *shards,
+			BuildWorkers:  *workers,
+		})
 		cancel()
 		if err != nil {
 			fail(err, "build: %v", err)
@@ -120,6 +137,13 @@ func main() {
 	fmt.Printf("indexed %d records: %d trie nodes, %d path links, ~%d bytes (ready in %v)\n",
 		s.Documents, s.IndexNodes, s.Links, s.EstimatedDiskBytes,
 		time.Since(buildStart).Round(time.Millisecond))
+	if s.Shards > 0 {
+		fmt.Printf("sharded %d ways:", s.Shards)
+		for _, ps := range s.PerShard {
+			fmt.Printf(" %d", ps.Documents)
+		}
+		fmt.Println(" docs/shard")
+	}
 	if *schema {
 		if outline := ix.SchemaOutline(); outline != "" {
 			fmt.Print(outline)

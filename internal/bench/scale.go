@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"xseq/internal/datagen"
+	"xseq/internal/index"
+	"xseq/internal/pathenc"
+	"xseq/internal/schema"
+	"xseq/internal/sequence"
+	"xseq/internal/shard"
+	"xseq/internal/xmltree"
+)
+
+// ScaleConfig configures the sharded-scaling benchmark (xseqbench -json):
+// one corpus built monolithically and sharded, timed, equivalence-checked,
+// and a query latency distribution over the sharded index.
+type ScaleConfig struct {
+	// Dataset names the corpus: "xmark", "dblp", or a synthetic name like
+	// "L3F5A25I0P40" (default "xmark").
+	Dataset string
+	// Records is the corpus size (<= 0: 1000).
+	Records int
+	// Shards is the partition count (<= 0: runtime.GOMAXPROCS(0)).
+	Shards int
+	// Workers bounds concurrent shard builds (<= 0: runtime.GOMAXPROCS(0)).
+	Workers int
+	// Queries is the number of random queries timed (<= 0: 50).
+	Queries int
+	// Seed drives data generation and query sampling.
+	Seed int64
+	// Context, when non-nil, bounds the run.
+	Context context.Context
+}
+
+// ScaleResult is the machine-readable benchmark record -json emits: enough
+// to plot build scaling and query latency against shard/worker counts, and
+// an Equivalent flag asserting the sharded index answered every sampled
+// query exactly like the monolithic one.
+type ScaleResult struct {
+	Dataset           string  `json:"dataset"`
+	Records           int     `json:"records"`
+	Shards            int     `json:"shards"`
+	Workers           int     `json:"workers"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Queries           int     `json:"queries"`
+	MonolithicBuildNS int64   `json:"monolithic_build_ns"`
+	ShardedBuildNS    int64   `json:"sharded_build_ns"`
+	BuildSpeedup      float64 `json:"build_speedup"`
+	QueryP50NS        int64   `json:"query_p50_ns"`
+	QueryP95NS        int64   `json:"query_p95_ns"`
+	Matches           int     `json:"matches"`
+	IndexNodes        int     `json:"index_nodes"`
+	Equivalent        bool    `json:"equivalent"`
+}
+
+// scaleCorpus generates the named corpus.
+func scaleCorpus(name string, n int, seed int64) ([]*xmltree.Document, error) {
+	switch name {
+	case "", "xmark":
+		_, docs, err := datagen.XMark(datagen.XMarkOptions{Seed: seed}, n)
+		return docs, err
+	case "dblp":
+		_, docs, err := datagen.DBLP(datagen.DBLPOptions{Seed: seed}, n)
+		return docs, err
+	default:
+		p, err := datagen.ParseSynthName(name)
+		if err != nil {
+			return nil, err
+		}
+		p.Seed = seed
+		_, docs, err := datagen.Synth(p, n)
+		return docs, err
+	}
+}
+
+// shardScaleBuilder is the per-shard builder ShardScale times: the same
+// schema-infer + g_best pipeline the monolithic build runs, applied to the
+// shard's partition.
+func shardScaleBuilder(ctx context.Context, docs []*xmltree.Document) (*index.Index, error) {
+	roots := make([]*xmltree.Node, len(docs))
+	for i, d := range docs {
+		roots[i] = d.Root
+	}
+	sch, err := schema.Infer(roots)
+	if err != nil {
+		return nil, err
+	}
+	enc := pathenc.NewEncoder(0)
+	return index.BuildContext(ctx, docs, index.Options{
+		Encoder:  enc,
+		Strategy: sequence.NewProbability(sch, enc),
+	})
+}
+
+// ShardScale runs the sharded-scaling benchmark: build the corpus
+// monolithically and sharded (timing both), sample random queries, check
+// every answer for monolithic/sharded equivalence, and report the sharded
+// query latency distribution.
+func ShardScale(cfg ScaleConfig) (*ScaleResult, error) {
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dataset := cfg.Dataset
+	if dataset == "" {
+		dataset = "xmark"
+	}
+	records := cfg.Records
+	if records <= 0 {
+		records = 1000
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	nq := cfg.Queries
+	if nq <= 0 {
+		nq = 50
+	}
+
+	docs, err := scaleCorpus(dataset, records, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	monoStart := time.Now()
+	mono, err := shardScaleBuilder(ctx, docs)
+	if err != nil {
+		return nil, fmt.Errorf("monolithic build: %w", err)
+	}
+	monoNS := time.Since(monoStart).Nanoseconds()
+
+	shardStart := time.Now()
+	sh, err := shard.BuildContext(ctx, docs, shardScaleBuilder,
+		shard.Options{Shards: shards, Workers: cfg.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("sharded build: %w", err)
+	}
+	shardNS := time.Since(shardStart).Nanoseconds()
+
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xbe7c))
+	pats := randomQueries(rng, docs, 3, nq)
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("no queries extractable from %s corpus", dataset)
+	}
+	res := &ScaleResult{
+		Dataset:           dataset,
+		Records:           len(docs),
+		Shards:            shards,
+		Workers:           cfg.Workers,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Queries:           len(pats),
+		MonolithicBuildNS: monoNS,
+		ShardedBuildNS:    shardNS,
+		IndexNodes:        sh.NumNodes(),
+		Equivalent:        true,
+	}
+	if shardNS > 0 {
+		res.BuildSpeedup = float64(monoNS) / float64(shardNS)
+	}
+	lats := make([]int64, 0, len(pats))
+	for _, p := range pats {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		want, err := mono.QueryContext(ctx, p)
+		if err != nil {
+			return nil, fmt.Errorf("monolithic query %s: %w", p, err)
+		}
+		qStart := time.Now()
+		got, err := sh.QueryContext(ctx, p)
+		if err != nil {
+			return nil, fmt.Errorf("sharded query %s: %w", p, err)
+		}
+		lats = append(lats, time.Since(qStart).Nanoseconds())
+		res.Matches += len(got)
+		if !equalIDs(want, got) {
+			res.Equivalent = false
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.QueryP50NS = percentileNS(lats, 50)
+	res.QueryP95NS = percentileNS(lats, 95)
+	return res, nil
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// percentileNS reads the p-th percentile from a sorted latency slice
+// (nearest-rank).
+func percentileNS(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (p*len(sorted) + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}

@@ -4,18 +4,27 @@ import (
 	"context"
 	"os"
 	"time"
+
+	"xseq"
 )
 
 // Reload loads Config.IndexPath into a fresh snapshot and atomically swaps
 // it in; queries started before the swap finish on the old snapshot,
 // queries started after see the new one, and nothing blocks. On any load
-// failure — the file is corrupt, truncated, or missing — the old snapshot
-// stays published and keeps answering; the error is recorded for /healthz
-// and returned. cmd/xseqd wires this to SIGHUP; WatchFile calls it on
-// mtime change.
+// failure — the file is corrupt, truncated, missing, or violates
+// Config.ExpectShards — the old snapshot stays published and keeps
+// answering; the error is recorded for /healthz and returned. cmd/xseqd
+// wires this to SIGHUP; WatchFile calls it on mtime change.
 func (s *Server) Reload() error {
 	mtime, size := statFile(s.cfg.IndexPath)
-	cur, err := s.swap.SwapFromFile(s.cfg.IndexPath)
+	ix, err := xseq.LoadFile(s.cfg.IndexPath)
+	if err == nil {
+		err = checkShards(s.cfg.ExpectShards, ix)
+	}
+	if err == nil {
+		s.swap.Swap(ix)
+	}
+	cur := s.swap.Current()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.reloads++

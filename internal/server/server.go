@@ -45,6 +45,11 @@ type Config struct {
 	MaxTimeout time.Duration
 	// RetryAfter is the hint sent with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// ExpectShards, when > 0, requires every snapshot — initial and
+	// reloaded — to be sharded with exactly this many shards. A mismatched
+	// initial snapshot fails startup; a mismatched replacement is rejected
+	// on reload and the old snapshot keeps serving. 0 accepts any layout.
+	ExpectShards int
 	// Chaos, when non-empty, injects per-route faults (latency, errors,
 	// panics) for resilience drills; leave nil in production.
 	Chaos Chaos
@@ -115,6 +120,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	ix, err := xseq.LoadFile(cfg.IndexPath)
 	if err != nil {
+		return nil, fmt.Errorf("server: initial snapshot: %w", err)
+	}
+	if err := checkShards(cfg.ExpectShards, ix); err != nil {
 		return nil, fmt.Errorf("server: initial snapshot: %w", err)
 	}
 	s := &Server{
@@ -290,6 +298,10 @@ type statsResponse struct {
 		IndexNodes         int   `json:"index_nodes"`
 		Links              int   `json:"links"`
 		EstimatedDiskBytes int64 `json:"estimated_disk_bytes"`
+		// Shards is 0 when the snapshot is monolithic; PerShard then stays
+		// empty.
+		Shards   int         `json:"shards"`
+		PerShard []shardStat `json:"per_shard,omitempty"`
 	} `json:"index"`
 	Admission struct {
 		MaxConcurrent int   `json:"max_concurrent"`
@@ -304,6 +316,27 @@ type statsResponse struct {
 	Errors   int64          `json:"query_errors"`
 	UptimeMS float64        `json:"uptime_ms"`
 	Draining bool           `json:"draining"`
+}
+
+// shardStat is one shard's slice of the /stats index section.
+type shardStat struct {
+	Documents  int `json:"documents"`
+	IndexNodes int `json:"index_nodes"`
+	Links      int `json:"links"`
+}
+
+// checkShards enforces Config.ExpectShards against a loaded snapshot.
+func checkShards(expect int, ix *xseq.Index) error {
+	if expect <= 0 {
+		return nil
+	}
+	if got := ix.Stats().Shards; got != expect {
+		if got == 0 {
+			return fmt.Errorf("snapshot is monolithic, want %d shards", expect)
+		}
+		return fmt.Errorf("snapshot has %d shards, want %d", got, expect)
+	}
+	return nil
 }
 
 type snapshotStatus struct {
@@ -336,6 +369,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Index.IndexNodes = st.IndexNodes
 	resp.Index.Links = st.Links
 	resp.Index.EstimatedDiskBytes = st.EstimatedDiskBytes
+	resp.Index.Shards = st.Shards
+	for _, ps := range st.PerShard {
+		resp.Index.PerShard = append(resp.Index.PerShard, shardStat{
+			Documents:  ps.Documents,
+			IndexNodes: ps.IndexNodes,
+			Links:      ps.Links,
+		})
+	}
 	resp.Admission.MaxConcurrent = s.cfg.MaxConcurrent
 	resp.Admission.MaxQueue = s.cfg.MaxQueue
 	resp.Admission.Active = s.gate.active.Load()

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xseq"
+)
+
+// buildShardedSnapshot writes an n-document sharded snapshot to path.
+// Documents match the same matchAll query buildSnapshot's do.
+func buildShardedSnapshot(t *testing.T, path string, n, shards int) {
+	t.Helper()
+	docs := make([]*xseq.Document, n)
+	for i := range docs {
+		d, err := xseq.ParseDocumentString(int32(i),
+			"<rec><title>t</title><city>boston</city></rec>")
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = d
+	}
+	ix, err := xseq.Build(docs, xseq.Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeShardedSnapshot: xseqd's serving layer is layout-agnostic — a
+// sharded snapshot loads, answers /query, and /stats reports the shard
+// count and per-shard shapes.
+func TestServeShardedSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.idx")
+	buildShardedSnapshot(t, path, 12, 4)
+	srv, err := New(Config{IndexPath: path, Logf: silentLogf, ExpectShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	code, qr, body := getQuery(t, ts.URL, "q="+matchAll)
+	if code != http.StatusOK {
+		t.Fatalf("query on sharded snapshot: %d %s", code, body)
+	}
+	if qr.Count != 12 {
+		t.Fatalf("count = %d, want 12", qr.Count)
+	}
+	for i := 1; i < len(qr.IDs); i++ {
+		if qr.IDs[i-1] >= qr.IDs[i] {
+			t.Fatalf("ids out of order: %v", qr.IDs)
+		}
+	}
+	code, statsBody := get(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(statsBody, &st); err != nil {
+		t.Fatalf("bad /stats body %s: %v", statsBody, err)
+	}
+	if st.Index.Shards != 4 || len(st.Index.PerShard) != 4 {
+		t.Fatalf("/stats shards = %d, per_shard = %d entries", st.Index.Shards, len(st.Index.PerShard))
+	}
+	docsTotal := 0
+	for _, ps := range st.Index.PerShard {
+		docsTotal += ps.Documents
+	}
+	if docsTotal != 12 || st.Index.Documents != 12 {
+		t.Fatalf("per-shard docs sum %d, index documents %d, want 12", docsTotal, st.Index.Documents)
+	}
+}
+
+// TestExpectShardsMismatch: -shards is a startup invariant — a monolithic
+// or differently-sharded snapshot must fail New.
+func TestExpectShardsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	mono := filepath.Join(dir, "mono.idx")
+	buildSnapshot(t, mono, 3, false)
+	if _, err := New(Config{IndexPath: mono, Logf: silentLogf, ExpectShards: 4}); err == nil {
+		t.Fatal("New accepted a monolithic snapshot with ExpectShards=4")
+	}
+	sharded := filepath.Join(dir, "sharded.idx")
+	buildShardedSnapshot(t, sharded, 6, 2)
+	if _, err := New(Config{IndexPath: sharded, Logf: silentLogf, ExpectShards: 4}); err == nil {
+		t.Fatal("New accepted a 2-shard snapshot with ExpectShards=4")
+	}
+	if _, err := New(Config{IndexPath: sharded, Logf: silentLogf, ExpectShards: 2}); err != nil {
+		t.Fatalf("New rejected a matching snapshot: %v", err)
+	}
+}
+
+// TestShardedReloadKeepsOldOnCorruption: a hot reload that hits a corrupt
+// sharded replacement keeps the previous snapshot serving, flips /healthz
+// to degraded, and recovers on the next good file.
+func TestShardedReloadKeepsOldOnCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.idx")
+	buildShardedSnapshot(t, path, 8, 3)
+	srv, err := New(Config{IndexPath: path, Logf: silentLogf, ExpectShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0x10
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Reload(); err == nil {
+		t.Fatal("Reload accepted a corrupt sharded snapshot")
+	}
+	// Old snapshot still answers.
+	code, qr, body := getQuery(t, ts.URL, "q="+matchAll)
+	if code != http.StatusOK || qr.Count != 8 {
+		t.Fatalf("old snapshot not serving after corrupt reload: %d %s", code, body)
+	}
+	code, hb := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: %d", code)
+	}
+	var hr healthResponse
+	if err := json.Unmarshal(hb, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "degraded" {
+		t.Fatalf("healthz status = %q, want degraded", hr.Status)
+	}
+
+	// A reload of a layout-violating (monolithic) replacement is also
+	// rejected under ExpectShards.
+	buildSnapshot(t, path, 8, false)
+	if err := srv.Reload(); err == nil {
+		t.Fatal("Reload accepted a monolithic snapshot with ExpectShards=3")
+	}
+	if _, qr, _ := getQuery(t, ts.URL, "q="+matchAll); qr.Count != 8 {
+		t.Fatal("old snapshot displaced by layout-violating reload")
+	}
+
+	// Restoring a good sharded file recovers.
+	buildShardedSnapshot(t, path, 10, 3)
+	if err := srv.Reload(); err != nil {
+		t.Fatalf("reload of restored snapshot: %v", err)
+	}
+	if _, qr, _ := getQuery(t, ts.URL, "q="+matchAll); qr.Count != 10 {
+		t.Fatalf("restored snapshot not serving: count %d", qr.Count)
+	}
+	if _, hb := get(t, ts.URL+"/healthz"); true {
+		var hr healthResponse
+		if err := json.Unmarshal(hb, &hr); err != nil {
+			t.Fatal(err)
+		}
+		if hr.Status != "ok" {
+			t.Fatalf("healthz status after recovery = %q, want ok", hr.Status)
+		}
+	}
+}

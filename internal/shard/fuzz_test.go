@@ -1,0 +1,55 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"xseq/internal/index"
+	"xseq/internal/query"
+)
+
+// FuzzLoad feeds arbitrary bytes to the sharded-snapshot loader. The
+// contract under test: Load either reconstructs a queryable index or
+// returns an error — never panics, and any corruption surfaces as a
+// *index.CorruptError, never as a wrong-shard misattribution (the decoder
+// re-hashes every document id against its claiming shard).
+func FuzzLoad(f *testing.F) {
+	_, valid := savedSharded(f, 6, 3)
+	f.Add(valid)
+	f.Add(valid[:16])
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("XSEQSHRD"))
+	f.Add([]byte{})
+	for _, i := range []int{0, 9, 17, 25, len(valid) / 2, len(valid) - 2} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x80
+		f.Add(mut)
+	}
+	pat := query.MustParse("//date")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			var ce *index.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Load error is not a *index.CorruptError: %v", err)
+			}
+			return
+		}
+		// A stream that loads must answer queries without panicking, and its
+		// claimed geometry must be self-consistent.
+		if s.NumShards() < 1 {
+			t.Fatalf("loaded index claims %d shards", s.NumShards())
+		}
+		ids, err := s.Query(pat)
+		if err != nil {
+			t.Fatalf("query on loaded index: %v", err)
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i-1] >= ids[i] {
+				t.Fatalf("result ids out of order: %v", ids)
+			}
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package xseq
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xseq/internal/datagen"
+)
+
+// genCorpus converts a datagen corpus into public-API documents.
+func genCorpus(t *testing.T, name string, n int) []*Document {
+	t.Helper()
+	var docs []*Document
+	switch name {
+	case "xmark":
+		_, gen, err := datagen.XMark(datagen.XMarkOptions{Seed: 11}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range gen {
+			docs = append(docs, &Document{id: d.ID, root: d.Root})
+		}
+	default:
+		p, err := datagen.ParseSynthName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Seed = 11
+		_, gen, err := datagen.Synth(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range gen {
+			docs = append(docs, &Document{id: d.ID, root: d.Root})
+		}
+	}
+	return docs
+}
+
+func equalIDSlices(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedEquivalence is the acceptance suite for the sharded engine:
+// over xseqgen-style synthetic data and the XMark-like corpus, a sharded
+// index must return exactly the sorted document ids the monolithic index
+// returns, for plain, verified, explained, and limit queries.
+func TestShardedEquivalence(t *testing.T) {
+	cases := []struct {
+		corpus  string
+		queries []string
+	}{
+		{"xmark", []string{
+			datagen.XMarkQ1,
+			datagen.XMarkQ2,
+			datagen.XMarkQ3,
+			"/site//person/name",
+			"//item/location",
+			"//date",
+			"/site/*",
+		}},
+		{"L3F5A25I0P40", []string{
+			"/e1",
+			"/e1/e2",
+			"//e3",
+			"/e1/*",
+			"//e2//*",
+		}},
+	}
+	for _, c := range cases {
+		docs := genCorpus(t, c.corpus, 250)
+		mono, err := Build(docs, Config{KeepDocuments: true})
+		if err != nil {
+			t.Fatalf("%s: monolithic build: %v", c.corpus, err)
+		}
+		for _, shards := range []int{2, 5} {
+			sh, err := Build(docs, Config{KeepDocuments: true, Shards: shards})
+			if err != nil {
+				t.Fatalf("%s/%d: sharded build: %v", c.corpus, shards, err)
+			}
+			if st := sh.Stats(); st.Shards != shards || st.Documents != len(docs) {
+				t.Fatalf("%s/%d: stats %+v", c.corpus, shards, st)
+			}
+			for _, q := range c.queries {
+				want, err := mono.Query(q)
+				if err != nil {
+					t.Fatalf("%s: mono %s: %v", c.corpus, q, err)
+				}
+				got, err := sh.Query(q)
+				if err != nil {
+					t.Fatalf("%s/%d: %s: %v", c.corpus, shards, q, err)
+				}
+				if !equalIDSlices(got, want) {
+					t.Fatalf("%s/%d: %s: sharded %v, monolithic %v", c.corpus, shards, q, got, want)
+				}
+
+				wantV, err := mono.QueryVerified(q)
+				if err != nil {
+					t.Fatalf("%s: mono verified %s: %v", c.corpus, q, err)
+				}
+				gotV, err := sh.QueryVerified(q)
+				if err != nil {
+					t.Fatalf("%s/%d: verified %s: %v", c.corpus, shards, q, err)
+				}
+				if !equalIDSlices(gotV, wantV) {
+					t.Fatalf("%s/%d: verified %s: sharded %v, monolithic %v", c.corpus, shards, q, gotV, wantV)
+				}
+
+				gotE, _, err := sh.QueryExplain(q)
+				if err != nil {
+					t.Fatalf("%s/%d: explain %s: %v", c.corpus, shards, q, err)
+				}
+				if !equalIDSlices(gotE, want) {
+					t.Fatalf("%s/%d: explain %s: %v, want %v", c.corpus, shards, q, gotE, want)
+				}
+
+				// A limit covering the whole result must reproduce it; a
+				// smaller limit returns that many ids, all members of it.
+				full, err := sh.QueryLimit(q, len(want)+1)
+				if err != nil {
+					t.Fatalf("%s/%d: limit %s: %v", c.corpus, shards, q, err)
+				}
+				if !equalIDSlices(full, want) {
+					t.Fatalf("%s/%d: limit(all) %s: %v, want %v", c.corpus, shards, q, full, want)
+				}
+				if len(want) > 1 {
+					part, err := sh.QueryLimit(q, len(want)-1)
+					if err != nil {
+						t.Fatalf("%s/%d: limit %s: %v", c.corpus, shards, q, err)
+					}
+					if len(part) != len(want)-1 {
+						t.Fatalf("%s/%d: limit(%d) %s returned %d ids", c.corpus, shards, len(want)-1, q, len(part))
+					}
+					members := make(map[int32]bool, len(want))
+					for _, id := range want {
+						members[id] = true
+					}
+					for _, id := range part {
+						if !members[id] {
+							t.Fatalf("%s/%d: limit %s: id %d not in full result", c.corpus, shards, q, id)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSnapshotRoundtrip drives the sharded format through the
+// public persistence API: SaveFile writes the sharded container, LoadFile
+// sniffs the magic and restores it, and queries still match monolithic.
+func TestShardedSnapshotRoundtrip(t *testing.T) {
+	docs := genCorpus(t, "xmark", 120)
+	sh, err := Build(docs, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Build(docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sharded.idx")
+	if err := sh.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := back.Stats(); st.Shards != 4 {
+		t.Fatalf("reloaded Stats().Shards = %d, want 4", st.Shards)
+	}
+	// Stream round-trip through Load's magic sniffing too.
+	var buf bytes.Buffer
+	if err := sh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{datagen.XMarkQ1, "//date", "/site/*"} {
+		want, _ := mono.Query(q)
+		for i, ix := range []*Index{back, back2} {
+			got, err := ix.Query(q)
+			if err != nil {
+				t.Fatalf("copy %d: %s: %v", i, q, err)
+			}
+			if !equalIDSlices(got, want) {
+				t.Fatalf("copy %d: %s: %v, want %v", i, q, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedCorruptSnapshot: a damaged sharded snapshot fails LoadFile
+// with *CorruptError (never a panic), and a Swapper keeps serving the
+// previous snapshot when a hot reload hits the damage.
+func TestShardedCorruptSnapshot(t *testing.T) {
+	docs := genCorpus(t, "xmark", 60)
+	sh, err := Build(docs, Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sharded.idx")
+	if err := sh.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x20
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFile(path)
+	var corrupt *CorruptError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("LoadFile error = %v, want *CorruptError", err)
+	}
+	sw := NewSwapper(good)
+	cur, err := sw.SwapFromFile(path)
+	if err == nil {
+		t.Fatal("SwapFromFile accepted a corrupt sharded snapshot")
+	}
+	if cur != good || sw.Current() != good {
+		t.Fatal("corrupt reload displaced the serving snapshot")
+	}
+	if _, err := sw.Current().QueryContext(context.Background(), "//date"); err != nil {
+		t.Fatalf("surviving snapshot cannot answer: %v", err)
+	}
+}
+
+// TestBuildShardConfigValidation: negative sharding config is rejected up
+// front.
+func TestBuildShardConfigValidation(t *testing.T) {
+	docs := genCorpus(t, "xmark", 5)
+	if _, err := Build(docs, Config{Shards: -1}); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	if _, err := Build(docs, Config{BuildWorkers: -1}); err == nil {
+		t.Fatal("negative BuildWorkers accepted")
+	}
+}

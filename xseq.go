@@ -23,9 +23,11 @@
 package xseq
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"runtime/debug"
 	"strings"
 	"sync/atomic"
@@ -36,6 +38,7 @@ import (
 	"xseq/internal/query"
 	"xseq/internal/schema"
 	"xseq/internal/sequence"
+	"xseq/internal/shard"
 	"xseq/internal/xmltree"
 )
 
@@ -161,11 +164,27 @@ type Config struct {
 	KeepDocuments bool
 	// InstantiationLimit caps wildcard expansion per query (<= 0: 4096).
 	InstantiationLimit int
+	// Shards hash-partitions the corpus by document id into this many
+	// independently built and queried sub-indexes (<= 1: one monolithic
+	// index). Builds parallelize across shards on BuildWorkers workers;
+	// queries fan out to every shard concurrently and merge, returning
+	// exactly the ids (same set, same ascending order) the monolithic index
+	// returns. Each shard infers its own schema from its partition, so
+	// SchemaOutline is empty for sharded indexes; paged I/O simulation is
+	// unsupported on them.
+	Shards int
+	// BuildWorkers bounds how many shards build concurrently
+	// (<= 0: runtime.GOMAXPROCS(0)). Ignored when Shards <= 1.
+	BuildWorkers int
 }
 
-// Index is an immutable constraint-sequence index over a corpus.
+// Index is an immutable constraint-sequence index over a corpus — either
+// one monolithic index or, when built with Config.Shards > 1, a
+// hash-partitioned set of shards queried in parallel. The query API is
+// identical either way.
 type Index struct {
-	ix   *index.Index
+	ix   *index.Index // monolithic engine (nil when sharded)
+	sh   *shard.Index // sharded engine (nil when monolithic)
 	sch  *schema.Schema
 	pool *pager.Pool
 }
@@ -179,29 +198,64 @@ func Build(docs []*Document, cfg Config) (*Index, error) {
 }
 
 // BuildContext is Build honouring ctx: cancelling it aborts the build
-// between documents, returning the context's error.
+// between documents (and, for sharded builds, cancels every in-flight shard
+// build), returning the context's error.
 func BuildContext(ctx context.Context, docs []*Document, cfg Config) (ix0 *Index, err error) {
 	defer guard(&err)
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("xseq: empty corpus")
 	}
-	roots := make([]*xmltree.Node, len(docs))
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("xseq: negative shard count %d", cfg.Shards)
+	}
+	if cfg.BuildWorkers < 0 {
+		return nil, fmt.Errorf("xseq: negative build worker count %d", cfg.BuildWorkers)
+	}
 	inner := make([]*xmltree.Document, len(docs))
 	for i, d := range docs {
 		if d == nil || d.root == nil {
 			return nil, fmt.Errorf("xseq: nil document at position %d", i)
 		}
-		roots[i] = d.root
 		inner[i] = &xmltree.Document{ID: d.id, Root: d.root}
+	}
+	if cfg.Shards > 1 {
+		sh, err := shard.BuildContext(ctx, inner, func(ctx context.Context, part []*xmltree.Document) (*index.Index, error) {
+			ix, _, err := buildPartition(ctx, part, cfg, true)
+			return ix, err
+		}, shard.Options{Shards: cfg.Shards, Workers: cfg.BuildWorkers})
+		if err != nil {
+			return nil, fmt.Errorf("xseq: build: %w", err)
+		}
+		return &Index{sh: sh}, nil
+	}
+	ix, sch, err := buildPartition(ctx, inner, cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("xseq: build: %w", err)
+	}
+	return &Index{ix: ix, sch: sch}, nil
+}
+
+// buildPartition infers a schema over one corpus partition (the whole
+// corpus for a monolithic build, one shard's slice otherwise), applies the
+// weights, and builds the index. Sharded builds skip weight paths the
+// partition's schema never saw — a rare path can hash its every document
+// into a few shards, and its absence elsewhere must not fail the build.
+func buildPartition(ctx context.Context, inner []*xmltree.Document, cfg Config, skipUnknownWeights bool) (*index.Index, *schema.Schema, error) {
+	roots := make([]*xmltree.Node, len(inner))
+	for i, d := range inner {
+		roots[i] = d.Root
 	}
 	sch, err := schema.Infer(roots)
 	if err != nil {
-		return nil, fmt.Errorf("xseq: schema inference: %w", err)
+		return nil, nil, fmt.Errorf("schema inference: %w", err)
 	}
 	for path, w := range cfg.Weights {
 		names := strings.Split(strings.Trim(path, "/"), "/")
 		if err := sch.SetWeightByNamePath(names, w); err != nil {
-			return nil, fmt.Errorf("xseq: weight %q: %w", path, err)
+			if skipUnknownWeights {
+				continue
+			}
+			return nil, nil, fmt.Errorf("weight %q: %w", path, err)
 		}
 	}
 	var enc *pathenc.Encoder
@@ -219,9 +273,9 @@ func BuildContext(ctx context.Context, docs []*Document, cfg Config) (ix0 *Index
 		InstantiationLimit: cfg.InstantiationLimit,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("xseq: build: %w", err)
+		return nil, nil, err
 	}
-	return &Index{ix: ix, sch: sch}, nil
+	return ix, sch, nil
 }
 
 // Query answers an XPath-subset query (child and descendant steps,
@@ -244,7 +298,15 @@ func (ix *Index) QueryContext(ctx context.Context, q string) (ids []int32, err e
 	if err != nil {
 		return nil, err
 	}
-	return ix.ix.QueryContext(ctx, pat)
+	return ix.queryWith(ctx, pat, index.QueryOptions{})
+}
+
+// queryWith routes a parsed pattern to the monolithic or sharded engine.
+func (ix *Index) queryWith(ctx context.Context, pat *query.Pattern, qo index.QueryOptions) ([]int32, error) {
+	if ix.sh != nil {
+		return ix.sh.QueryWithContext(ctx, pat, qo)
+	}
+	return ix.ix.QueryWithContext(ctx, pat, qo)
 }
 
 // QueryVerified is Query with exact value semantics: every candidate is
@@ -260,7 +322,7 @@ func (ix *Index) QueryVerifiedContext(ctx context.Context, q string) (ids []int3
 	if err != nil {
 		return nil, err
 	}
-	return ix.ix.QueryWithContext(ctx, pat, index.QueryOptions{Verify: true})
+	return ix.queryWith(ctx, pat, index.QueryOptions{Verify: true})
 }
 
 // QueryLimit is Query that stops after max distinct documents (max <= 0:
@@ -272,14 +334,16 @@ func (ix *Index) QueryLimit(q string, max int) ([]int32, error) {
 
 // QueryLimitContext is QueryLimit honouring ctx: the deadline/cancellation
 // semantics of QueryContext combined with the result cap — the entry point
-// a serving layer uses for first-page queries under a request deadline.
+// a serving layer uses for first-page queries under a request deadline. On
+// a sharded index the fan-out cancels the remaining shards as soon as max
+// hits have accumulated across shards.
 func (ix *Index) QueryLimitContext(ctx context.Context, q string, max int) (ids []int32, err error) {
 	defer guard(&err)
 	pat, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return ix.ix.QueryWithContext(ctx, pat, index.QueryOptions{MaxResults: max})
+	return ix.queryWith(ctx, pat, index.QueryOptions{MaxResults: max})
 }
 
 // Explain reports the work a query performed.
@@ -314,7 +378,7 @@ func (ix *Index) QueryExplainContext(ctx context.Context, q string) (_ []int32, 
 		return nil, Explain{}, err
 	}
 	var st index.QueryStats
-	ids, err := ix.ix.QueryWithContext(ctx, pat, index.QueryOptions{Stats: &st})
+	ids, err := ix.queryWith(ctx, pat, index.QueryOptions{Stats: &st})
 	if err != nil {
 		return nil, Explain{}, err
 	}
@@ -333,16 +397,49 @@ func (ix *Index) QueryExplainContext(ctx context.Context, q string) (_ []int32, 
 type Stats struct {
 	// Documents is the corpus size.
 	Documents int
-	// IndexNodes is the trie node count (the paper's index-size metric).
+	// IndexNodes is the trie node count (the paper's index-size metric),
+	// summed across shards when sharded.
 	IndexNodes int
-	// Links is the number of distinct paths (horizontal links).
+	// Links is the number of distinct paths (horizontal links), summed
+	// across shards when sharded (each shard owns a private path table).
 	Links int
 	// EstimatedDiskBytes applies the paper's 4n + 8N sizing formula.
 	EstimatedDiskBytes int64
+	// Shards is the partition count, 0 for a monolithic index.
+	Shards int
+	// PerShard reports each shard's shape, nil for a monolithic index.
+	// Empty shards (fewer documents than shards) report zeros.
+	PerShard []ShardStats
+}
+
+// ShardStats is one shard's slice of a sharded index's Stats.
+type ShardStats struct {
+	// Documents is the shard's partition size.
+	Documents int
+	// IndexNodes is the shard's trie node count.
+	IndexNodes int
+	// Links is the shard's distinct path count.
+	Links int
 }
 
 // Stats returns index statistics.
 func (ix *Index) Stats() Stats {
+	if ix.sh != nil {
+		st := Stats{
+			Documents:          ix.sh.NumDocuments(),
+			IndexNodes:         ix.sh.NumNodes(),
+			Links:              ix.sh.NumLinks(),
+			EstimatedDiskBytes: ix.sh.EstimatedDiskBytes(),
+			Shards:             ix.sh.NumShards(),
+		}
+		st.PerShard = make([]ShardStats, ix.sh.NumShards())
+		for i := range st.PerShard {
+			if s := ix.sh.Shard(i); s != nil {
+				st.PerShard[i] = ShardStats{Documents: s.NumDocuments(), IndexNodes: s.NumNodes(), Links: s.NumLinks()}
+			}
+		}
+		return st
+	}
 	return Stats{
 		Documents:          ix.ix.NumDocuments(),
 		IndexNodes:         ix.ix.NumNodes(),
@@ -354,7 +451,8 @@ func (ix *Index) Stats() Stats {
 // SchemaOutline renders the inferred schema as an annotated DTD-like
 // outline with per-node occurrence probabilities — the statistics g_best
 // sequences by. Empty for indexes reconstructed by Load (rebuild to
-// inspect; the schema itself is preserved and used).
+// inspect; the schema itself is preserved and used) and for sharded
+// indexes (each shard infers a private schema from its partition).
 func (ix *Index) SchemaOutline() string {
 	if ix.sch == nil {
 		return ""
@@ -365,7 +463,12 @@ func (ix *Index) SchemaOutline() string {
 // FetchDocuments returns the stored documents for the given ids (in input
 // order, skipping unknown ids). Requires Config.KeepDocuments.
 func (ix *Index) FetchDocuments(ids []int32) ([]*Document, error) {
-	stored := ix.ix.Documents()
+	var stored []*xmltree.Document
+	if ix.sh != nil {
+		stored = ix.sh.Documents()
+	} else {
+		stored = ix.ix.Documents()
+	}
 	if stored == nil {
 		return nil, fmt.Errorf("xseq: FetchDocuments requires Config.KeepDocuments")
 	}
@@ -385,10 +488,15 @@ func (ix *Index) FetchDocuments(ids []int32) ([]*Document, error) {
 // Save serializes the index (designator tables, links, document lists,
 // inferred schema, and — when built with KeepDocuments — the corpus) so it
 // can be reloaded with Load without re-parsing or re-sequencing anything.
-// The stream is the v2 format: magic header, version, gob payload, and a
-// CRC-32 trailer that Load verifies.
+// A monolithic index writes the v2 format (magic header, version, gob
+// payload, CRC-32 trailer); a sharded index writes the sharded container: a
+// checksummed manifest (shard count, partition seed, per-shard length and
+// CRC) followed by one v2 stream per shard.
 func (ix *Index) Save(w io.Writer) (err error) {
 	defer guard(&err)
+	if ix.sh != nil {
+		return ix.sh.Save(w)
+	}
 	return ix.ix.Save(w)
 }
 
@@ -398,17 +506,35 @@ func (ix *Index) Save(w io.Writer) (err error) {
 // at path survives intact).
 func (ix *Index) SaveFile(path string) (err error) {
 	defer guard(&err)
+	if ix.sh != nil {
+		return ix.sh.SaveFile(path)
+	}
 	return ix.ix.SaveFile(path)
 }
 
-// Load reconstructs an index written by Save. The loaded index answers
-// queries identically to the original; it is immutable. Load accepts both
-// current (v2, checksummed) and legacy v1 streams; corruption — truncation,
-// bit flips, checksum or invariant failures — is reported as a
-// *CorruptError, never a panic or a silently wrong index.
+// Load reconstructs an index written by Save, sniffing the stream's magic
+// bytes to accept monolithic (current v2, checksummed, and legacy v1) and
+// sharded streams alike. The loaded index answers queries identically to
+// the original; it is immutable. Corruption — truncation, bit flips,
+// checksum or invariant failures, a damaged shard — is reported as a
+// *CorruptError, never a panic or a silently wrong index; for sharded
+// streams the error names the damaged shard.
 func Load(r io.Reader) (_ *Index, err error) {
 	defer guard(&err)
-	inner, err := index.Load(r)
+	var hdr [8]byte
+	n, rerr := io.ReadFull(r, hdr[:])
+	if rerr != nil && rerr != io.ErrUnexpectedEOF && rerr != io.EOF {
+		return nil, &CorruptError{Reason: "unreadable stream", Err: rerr}
+	}
+	replay := io.MultiReader(bytes.NewReader(hdr[:n]), r)
+	if shard.IsShardedHeader(hdr[:n]) {
+		sh, err := shard.Load(replay)
+		if err != nil {
+			return nil, err
+		}
+		return &Index{sh: sh}, nil
+	}
+	inner, err := index.Load(replay)
 	if err != nil {
 		return nil, err
 	}
@@ -416,14 +542,38 @@ func Load(r io.Reader) (_ *Index, err error) {
 }
 
 // LoadFile is Load from a file written by SaveFile (or any Save stream on
-// disk).
+// disk). Sharded snapshots load their shards in parallel on a
+// GOMAXPROCS-bounded worker pool.
 func LoadFile(path string) (_ *Index, err error) {
 	defer guard(&err)
+	sharded, err := fileIsSharded(path)
+	if err != nil {
+		return nil, err
+	}
+	if sharded {
+		sh, err := shard.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Index{sh: sh}, nil
+	}
 	inner, err := index.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	return &Index{ix: inner}, nil
+}
+
+// fileIsSharded sniffs path's first bytes for the sharded snapshot magic.
+func fileIsSharded(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("xseq: load %s: %w", path, err)
+	}
+	defer f.Close()
+	var hdr [8]byte
+	n, _ := io.ReadFull(f, hdr[:])
+	return shard.IsShardedHeader(hdr[:n]), nil
 }
 
 // Swapper publishes the live snapshot of an index and atomically swaps in
@@ -482,9 +632,12 @@ type DynamicIndex struct {
 
 // BuildDynamic builds an updatable index over an initial corpus (which may
 // be empty). threshold is the delta size that triggers automatic
-// compaction (<= 0: 1024).
+// compaction (<= 0: 1024). Dynamic indexes are always monolithic:
+// Config.Shards is ignored (the delta buffer is small by construction, and
+// compaction rebuilds are where sharding would belong — see ROADMAP).
 func BuildDynamic(initial []*Document, cfg Config, threshold int) (_ *DynamicIndex, err error) {
 	defer guard(&err)
+	cfg.Shards = 0 // dynamic sub-indexes are monolithic
 	builder := func(ctx context.Context, inner []*xmltree.Document) (*index.Index, error) {
 		wrapped := make([]*Document, len(inner))
 		for i, d := range inner {
@@ -614,14 +767,21 @@ type IOStats struct {
 
 // EnablePagedIO lays the index out on simulated 4 KiB pages behind an LRU
 // buffer pool of poolPages pages (<= 0: 256) and starts counting disk
-// accesses. It returns the on-disk page count.
+// accesses. It returns the on-disk page count. Paged I/O simulation is a
+// single-index instrument; sharded indexes reject it.
 func (ix *Index) EnablePagedIO(poolPages int) (int64, error) {
+	if ix.sh != nil {
+		return 0, fmt.Errorf("xseq: paged I/O simulation is not supported on sharded indexes")
+	}
 	ix.pool = pager.NewPool(poolPages)
 	return ix.ix.AttachPager(ix.pool)
 }
 
 // DisablePagedIO stops I/O accounting.
 func (ix *Index) DisablePagedIO() {
+	if ix.ix == nil {
+		return
+	}
 	ix.ix.DetachPager()
 	ix.pool = nil
 }
@@ -629,12 +789,23 @@ func (ix *Index) DisablePagedIO() {
 // IO returns the I/O counters accumulated since EnablePagedIO (or the last
 // ResetIO).
 func (ix *Index) IO() IOStats {
+	if ix.ix == nil {
+		return IOStats{}
+	}
 	s := ix.ix.PagerStats()
 	return IOStats{Reads: s.Reads, Hits: s.Hits, DiskAccesses: s.Misses}
 }
 
 // ResetIO zeroes the I/O counters, keeping the buffer pool warm.
-func (ix *Index) ResetIO() { ix.ix.ResetPagerStats() }
+func (ix *Index) ResetIO() {
+	if ix.ix != nil {
+		ix.ix.ResetPagerStats()
+	}
+}
 
 // DropIOCache empties the buffer pool (cold-cache measurements).
-func (ix *Index) DropIOCache() { ix.ix.DropPagerCache() }
+func (ix *Index) DropIOCache() {
+	if ix.ix != nil {
+		ix.ix.DropPagerCache()
+	}
+}

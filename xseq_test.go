@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -330,7 +331,7 @@ func TestSaveLoadFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Stats() != ix.Stats() {
+	if !reflect.DeepEqual(back.Stats(), ix.Stats()) {
 		t.Fatalf("stats changed: %+v vs %+v", back.Stats(), ix.Stats())
 	}
 	for _, q := range []string{"//L[text='boston']", "/P[R][D]", "/P/*/L"} {
