@@ -79,11 +79,12 @@ func main() {
 		records = flag.Int("records", 1000, "corpus size for -json")
 		shards  = flag.Int("shards", 0, "shard count for -json (0 = GOMAXPROCS)")
 		workers = flag.Int("workers", 0, "concurrent shard builds for -json (0 = GOMAXPROCS)")
+		qcache  = flag.Int("query-cache", 0, "result-cache entries for the -json cached-vs-uncached pass (0 = default 1024)")
 	)
 	flag.Parse()
 
-	if *shards < 0 || *workers < 0 {
-		fmt.Fprintln(os.Stderr, "xseqbench: -shards and -workers must be >= 0")
+	if *shards < 0 || *workers < 0 || *qcache < 0 {
+		fmt.Fprintln(os.Stderr, "xseqbench: -shards, -workers, and -query-cache must be >= 0")
 		os.Exit(exitUsage)
 	}
 
@@ -103,13 +104,14 @@ func main() {
 
 	if *jsonOut != "" {
 		res, err := bench.ShardScale(bench.ScaleConfig{
-			Dataset: *dataset,
-			Records: *records,
-			Shards:  *shards,
-			Workers: *workers,
-			Queries: *queries,
-			Seed:    *seed,
-			Context: ctx,
+			Dataset:      *dataset,
+			Records:      *records,
+			Shards:       *shards,
+			Workers:      *workers,
+			Queries:      *queries,
+			CacheEntries: *qcache,
+			Seed:         *seed,
+			Context:      ctx,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
@@ -129,6 +131,10 @@ func main() {
 		}
 		if !res.Equivalent {
 			fmt.Fprintln(os.Stderr, "xseqbench: sharded results diverged from monolithic")
+			os.Exit(exitData)
+		}
+		if !res.CacheEquivalent {
+			fmt.Fprintln(os.Stderr, "xseqbench: cached results diverged from uncached")
 			os.Exit(exitData)
 		}
 		return

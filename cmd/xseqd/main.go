@@ -54,6 +54,7 @@ func main() {
 		watch    = flag.Duration("watch", 0, "poll the snapshot file at this interval and hot-reload on change (0 = SIGHUP only)")
 		shards   = flag.Int("shards", 0, "require the snapshot (and every reload) to have exactly this many shards (0 = accept any layout)")
 		workers  = flag.Int("workers", 0, "cap OS threads executing Go code, the parallelism of sharded query fan-out (0 = GOMAXPROCS default)")
+		qcache   = flag.Int("query-cache", 0, "cache up to this many query results per snapshot, invalidated on reload (0 = no cache); hit rates in /stats")
 
 		chaosLatency      = flag.Duration("chaos-latency", 0, "chaos: latency injected into /query when -chaos-latency-every fires")
 		chaosLatencyEvery = flag.Int("chaos-latency-every", 0, "chaos: inject latency into every nth /query (0 = off)")
@@ -65,8 +66,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xseqd: -index is required")
 		os.Exit(2)
 	}
-	if *shards < 0 || *workers < 0 {
-		fmt.Fprintln(os.Stderr, "xseqd: -shards and -workers must be >= 0")
+	if *shards < 0 || *workers < 0 || *qcache < 0 {
+		fmt.Fprintln(os.Stderr, "xseqd: -shards, -workers, and -query-cache must be >= 0")
 		os.Exit(2)
 	}
 	if *workers > 0 {
@@ -74,12 +75,13 @@ func main() {
 	}
 
 	cfg := server.Config{
-		IndexPath:      *index,
-		MaxConcurrent:  *maxConc,
-		MaxQueue:       *maxQueue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTO,
-		ExpectShards:   *shards,
+		IndexPath:         *index,
+		MaxConcurrent:     *maxConc,
+		MaxQueue:          *maxQueue,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTO,
+		ExpectShards:      *shards,
+		QueryCacheEntries: *qcache,
 	}
 	if *chaosLatencyEvery > 0 || *chaosErrorEvery > 0 || *chaosPanicEvery > 0 {
 		faults := server.ChaosFaults{}

@@ -77,11 +77,12 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort build and each query after this duration (0 = no limit)")
 		shards  = flag.Int("shards", 0, "partition the index into this many shards built and queried in parallel (0/1 = monolithic)")
 		workers = flag.Int("workers", 0, "concurrent shard builds for -shards (0 = GOMAXPROCS)")
+		qcache  = flag.Int("query-cache", 0, "cache up to this many query results keyed by canonical pattern (0 = no cache)")
 	)
 	flag.Parse()
 
-	if *shards < 0 || *workers < 0 {
-		fmt.Fprintln(os.Stderr, "xseqquery: -shards and -workers must be >= 0")
+	if *shards < 0 || *workers < 0 || *qcache < 0 {
+		fmt.Fprintln(os.Stderr, "xseqquery: -shards, -workers, and -query-cache must be >= 0")
 		os.Exit(exitUsage)
 	}
 	if *ioSim && *shards > 1 {
@@ -107,6 +108,9 @@ func main() {
 		if err != nil {
 			fail(err, "%v", err)
 		}
+		if *qcache > 0 {
+			ix.EnableQueryCache(*qcache)
+		}
 	case *data != "":
 		docs, err := loadCorpus(*data)
 		if err != nil {
@@ -114,10 +118,11 @@ func main() {
 		}
 		ctx, cancel := withTimeout()
 		ix, err = xseq.BuildContext(ctx, docs, xseq.Config{
-			KeepDocuments: *verify || *saveIdx != "",
-			TextValues:    *text,
-			Shards:        *shards,
-			BuildWorkers:  *workers,
+			KeepDocuments:     *verify || *saveIdx != "",
+			TextValues:        *text,
+			Shards:            *shards,
+			BuildWorkers:      *workers,
+			QueryCacheEntries: *qcache,
 		})
 		cancel()
 		if err != nil {
@@ -145,10 +150,10 @@ func main() {
 		fmt.Println(" docs/shard")
 	}
 	if *schema {
-		if outline := ix.SchemaOutline(); outline != "" {
+		if outline, err := ix.SchemaOutline(); err == nil {
 			fmt.Print(outline)
 		} else {
-			fmt.Println("(no schema outline: index was loaded from a snapshot)")
+			fmt.Printf("(no schema outline: %v)\n", err)
 		}
 	}
 	if *stats && flag.NArg() == 0 {
@@ -202,6 +207,10 @@ func main() {
 			fmt.Printf(" ... (%d more)", len(ids)-len(shown))
 		}
 		fmt.Println()
+	}
+	if qc := ix.Stats().QueryCache; qc != nil && flag.NArg() > 0 {
+		fmt.Printf("\ncache  %d/%d entries, %d hits, %d misses, %d evictions\n",
+			qc.Entries, qc.Capacity, qc.Hits, qc.Misses, qc.Evictions)
 	}
 }
 

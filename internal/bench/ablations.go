@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xseq/internal/datagen"
+	"xseq/internal/engine"
 	"xseq/internal/index"
 	"xseq/internal/pager"
 	"xseq/internal/pathenc"
@@ -321,13 +322,13 @@ func AblationBuild(cfg Config) ([]*Table, error) {
 	}
 	// Dynamic: insert everything through the updatable wrapper, compacting
 	// at the default threshold, then force a final compaction.
-	builder := func(ctx context.Context, ds []*xmltree.Document) (*index.Index, error) {
+	builder := func(ctx context.Context, ds []*xmltree.Document) (engine.Engine, error) {
 		enc := pathenc.NewEncoder(0)
 		st := sequence.NewProbability(sch, enc)
 		return index.BuildContext(ctx, ds, index.Options{Encoder: enc, Strategy: st})
 	}
 	start := time.Now()
-	dyn, err := index.NewDynamic(builder, nil, n/4)
+	dyn, err := engine.NewDynamic(builder, nil, n/4)
 	if err != nil {
 		return nil, err
 	}

@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"xseq/internal/datagen"
+	"xseq/internal/engine"
 	"xseq/internal/index"
 	"xseq/internal/pathenc"
+	"xseq/internal/qcache"
 	"xseq/internal/schema"
 	"xseq/internal/sequence"
 	"xseq/internal/shard"
@@ -32,6 +34,9 @@ type ScaleConfig struct {
 	Workers int
 	// Queries is the number of random queries timed (<= 0: 50).
 	Queries int
+	// CacheEntries bounds the query-result cache used by the
+	// repeated-pattern cached-vs-uncached pass (<= 0: qcache.DefaultEntries).
+	CacheEntries int
 	// Seed drives data generation and query sampling.
 	Seed int64
 	// Context, when non-nil, bounds the run.
@@ -57,6 +62,18 @@ type ScaleResult struct {
 	Matches           int     `json:"matches"`
 	IndexNodes        int     `json:"index_nodes"`
 	Equivalent        bool    `json:"equivalent"`
+
+	// Repeated-pattern workload through the qcache layer vs straight at the
+	// sharded index: same patterns, same order, so the latency gap is the
+	// cache's doing. CacheEquivalent asserts byte-identical id lists.
+	CacheEntries       int   `json:"cache_entries"`
+	UncachedQueryP50NS int64 `json:"uncached_query_p50_ns"`
+	UncachedQueryP95NS int64 `json:"uncached_query_p95_ns"`
+	CachedQueryP50NS   int64 `json:"cached_query_p50_ns"`
+	CachedQueryP95NS   int64 `json:"cached_query_p95_ns"`
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	CacheEquivalent    bool  `json:"cache_equivalent"`
 }
 
 // scaleCorpus generates the named corpus.
@@ -187,6 +204,55 @@ func ShardScale(cfg ScaleConfig) (*ScaleResult, error) {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	res.QueryP50NS = percentileNS(lats, 50)
 	res.QueryP95NS = percentileNS(lats, 95)
+
+	// Cached-vs-uncached pass: a small set of patterns repeated over
+	// several rounds, the workload shape a result cache exists for. Every
+	// cached answer is checked byte-for-byte against the uncached one.
+	entries := cfg.CacheEntries
+	if entries <= 0 {
+		entries = qcache.DefaultEntries
+	}
+	cached := qcache.New(sh, entries)
+	res.CacheEntries = entries
+	res.CacheEquivalent = true
+	hot := pats
+	if len(hot) > 8 {
+		hot = hot[:8]
+	}
+	const rounds = 5
+	uLats := make([]int64, 0, rounds*len(hot))
+	cLats := make([]int64, 0, rounds*len(hot))
+	for r := 0; r < rounds; r++ {
+		for _, p := range hot {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			uStart := time.Now()
+			want, err := sh.QueryContext(ctx, p)
+			if err != nil {
+				return nil, fmt.Errorf("uncached query %s: %w", p, err)
+			}
+			uLats = append(uLats, time.Since(uStart).Nanoseconds())
+			cStart := time.Now()
+			got, err := cached.QueryWithContext(ctx, p, engine.QueryOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("cached query %s: %w", p, err)
+			}
+			cLats = append(cLats, time.Since(cStart).Nanoseconds())
+			if !equalIDs(want, got) {
+				res.CacheEquivalent = false
+			}
+		}
+	}
+	sort.Slice(uLats, func(i, j int) bool { return uLats[i] < uLats[j] })
+	sort.Slice(cLats, func(i, j int) bool { return cLats[i] < cLats[j] })
+	res.UncachedQueryP50NS = percentileNS(uLats, 50)
+	res.UncachedQueryP95NS = percentileNS(uLats, 95)
+	res.CachedQueryP50NS = percentileNS(cLats, 50)
+	res.CachedQueryP95NS = percentileNS(cLats, 95)
+	cs := cached.Stats()
+	res.CacheHits = cs.Hits
+	res.CacheMisses = cs.Misses
 	return res, nil
 }
 

@@ -1,38 +1,48 @@
-package index
+package engine
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xseq/internal/query"
 	"xseq/internal/xmltree"
 )
 
-// Dynamic makes the (immutable, frozen) index updatable, the way the paper
+// Dynamic makes an (immutable, frozen) engine updatable, the way the paper
 // frames ViST as "a dynamic index method": new documents accumulate in a
-// delta buffer; queries run against the frozen main index plus a small
-// index built lazily over the delta; Compact folds everything into a fresh
-// main index. Each sub-index carries its own sequencing state (schema
-// statistics and repeat set are per-build), so query equivalence holds on
-// both sides independently.
+// delta buffer; queries run against the frozen main engine plus a small
+// engine built lazily over the delta; Compact folds everything into a fresh
+// main engine. The Builder decides the layout of every sub-engine — a
+// sharded Builder gives updatable indexes parallel compaction rebuilds —
+// and each sub-engine carries its own sequencing state (schema statistics
+// and repeat set are per-build), so query equivalence holds on both sides
+// independently.
 //
 // Dynamic is safe for concurrent use; Insert and Query may interleave.
 //
 // Dynamic is failure-safe: a Builder that returns an error or panics during
 // compaction (or delta construction) never disturbs the serving state — the
-// old main index and buffer stay exactly as they were, the failure is
+// old main engine and buffer stay exactly as they were, the failure is
 // surfaced as a *CompactionError, and compaction is retried once the buffer
 // grows by another threshold.
 type Dynamic struct {
 	build Builder
 
+	// gen is bumped before any mutation of served results becomes visible
+	// (insert, compaction), so a result-cache layer keyed by Generation can
+	// never serve a pre-mutation answer as current. It is atomic so readers
+	// never contend with the serving lock.
+	gen atomic.Uint64
+
 	mu        sync.RWMutex
-	main      *Index
+	main      Engine
 	mainDocs  []*xmltree.Document
 	buffer    []*xmltree.Document
-	delta     *Index // nil when dirty or buffer empty
+	delta     Engine // nil when dirty or buffer empty
 	seen      map[int32]bool
 	threshold int
 	compactAt int // buffer size that triggers the next auto-compaction
@@ -41,17 +51,17 @@ type Dynamic struct {
 	failures  int // failed compaction attempts
 }
 
-// Builder constructs an index over a corpus; Dynamic calls it for the
+// Builder constructs an engine over a corpus; Dynamic calls it for the
 // initial corpus, for delta rebuilds, and for compactions, passing through
-// the caller's context. The returned index must answer queries (prioritized
-// strategy).
-type Builder func(ctx context.Context, docs []*xmltree.Document) (*Index, error)
+// the caller's context. The builder chooses the layout: returning a sharded
+// engine makes compaction rebuilds parallel.
+type Builder func(ctx context.Context, docs []*xmltree.Document) (Engine, error)
 
-// CompactionError reports that folding the delta into the main index
+// CompactionError reports that folding the delta into the main engine
 // failed (Builder error or panic). The index is still fully serviceable:
-// the previous main index and the buffered documents are untouched, queries
-// keep answering exactly as before the attempt, and compaction is retried
-// automatically at the next threshold crossing.
+// the previous main engine and the buffered documents are untouched,
+// queries keep answering exactly as before the attempt, and compaction is
+// retried automatically at the next threshold crossing.
 type CompactionError struct {
 	// Docs is the corpus size of the failed rebuild.
 	Docs int
@@ -60,7 +70,7 @@ type CompactionError struct {
 }
 
 func (e *CompactionError) Error() string {
-	return fmt.Sprintf("index: compaction of %d documents failed (still serving pre-compaction state): %v", e.Docs, e.Err)
+	return fmt.Sprintf("engine: compaction of %d documents failed (still serving pre-compaction state): %v", e.Docs, e.Err)
 }
 
 func (e *CompactionError) Unwrap() error { return e.Err }
@@ -70,11 +80,11 @@ func (e *CompactionError) Unwrap() error { return e.Err }
 // small so their rebuild cost stays negligible).
 const DefaultCompactThreshold = 1024
 
-// NewDynamic builds a dynamic index over an initial corpus (which may be
+// NewDynamic builds a dynamic engine over an initial corpus (which may be
 // empty). threshold <= 0 uses DefaultCompactThreshold.
 func NewDynamic(build Builder, initial []*xmltree.Document, threshold int) (*Dynamic, error) {
 	if build == nil {
-		return nil, fmt.Errorf("index: NewDynamic requires a Builder")
+		return nil, fmt.Errorf("engine: NewDynamic requires a Builder")
 	}
 	if threshold <= 0 {
 		threshold = DefaultCompactThreshold
@@ -82,10 +92,10 @@ func NewDynamic(build Builder, initial []*xmltree.Document, threshold int) (*Dyn
 	d := &Dynamic{build: build, seen: map[int32]bool{}, threshold: threshold, compactAt: threshold}
 	for _, doc := range initial {
 		if doc == nil {
-			return nil, fmt.Errorf("index: nil initial document")
+			return nil, fmt.Errorf("engine: nil initial document")
 		}
 		if d.seen[doc.ID] {
-			return nil, fmt.Errorf("index: duplicate document id %d", doc.ID)
+			return nil, fmt.Errorf("engine: duplicate document id %d", doc.ID)
 		}
 		d.seen[doc.ID] = true
 	}
@@ -102,13 +112,20 @@ func NewDynamic(build Builder, initial []*xmltree.Document, threshold int) (*Dyn
 
 // safeBuild runs the Builder, converting a panic into an error so a faulty
 // Builder can never tear down a serving Dynamic.
-func (d *Dynamic) safeBuild(ctx context.Context, docs []*xmltree.Document) (ix *Index, err error) {
+func (d *Dynamic) safeBuild(ctx context.Context, docs []*xmltree.Document) (e Engine, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("index: builder panic: %v", r)
+			e, err = nil, fmt.Errorf("engine: builder panic: %v", r)
 		}
 	}()
-	return d.build(ctx, docs)
+	e, err = d.build(ctx, docs)
+	if err != nil {
+		return nil, err
+	}
+	if e == nil {
+		return nil, fmt.Errorf("engine: builder returned nil engine")
+	}
+	return e, nil
 }
 
 // Insert adds one document; it is InsertContext with context.Background().
@@ -116,7 +133,7 @@ func (d *Dynamic) Insert(doc *xmltree.Document) error {
 	return d.InsertContext(context.Background(), doc)
 }
 
-// InsertContext adds one document. The delta index is invalidated and
+// InsertContext adds one document. The delta engine is invalidated and
 // rebuilt on the next query; when the delta reaches the compaction
 // watermark the whole index is rebuilt inline under ctx.
 //
@@ -125,13 +142,18 @@ func (d *Dynamic) Insert(doc *xmltree.Document) error {
 // *CompactionError; the rebuild is retried after threshold further inserts.
 func (d *Dynamic) InsertContext(ctx context.Context, doc *xmltree.Document) error {
 	if doc == nil || doc.Root == nil {
-		return fmt.Errorf("index: nil document")
+		return fmt.Errorf("engine: nil document")
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.seen[doc.ID] {
-		return fmt.Errorf("index: duplicate document id %d", doc.ID)
+		return fmt.Errorf("engine: duplicate document id %d", doc.ID)
 	}
+	// Invalidate cached results before the new document becomes visible: a
+	// reader that still observes the old generation can only be served
+	// pre-insert answers, which were correct when that generation was
+	// current.
+	d.gen.Add(1)
 	d.seen[doc.ID] = true
 	d.buffer = append(d.buffer, doc)
 	d.delta = nil
@@ -155,6 +177,14 @@ func (d *Dynamic) Query(pat *query.Pattern) ([]int32, error) {
 // QueryContext answers a pattern over main + delta, ids ascending,
 // honouring ctx both in the lazy delta rebuild and in the match loops.
 func (d *Dynamic) QueryContext(ctx context.Context, pat *query.Pattern) ([]int32, error) {
+	return d.QueryWithContext(ctx, pat, QueryOptions{})
+}
+
+// QueryWithContext is QueryContext with per-query options: verification and
+// work-profile accumulation apply to both sides and merge; MaxResults
+// counts across main + delta, skipping the delta when the main engine
+// already filled the budget.
+func (d *Dynamic) QueryWithContext(ctx context.Context, pat *query.Pattern, qo QueryOptions) ([]int32, error) {
 	d.mu.Lock()
 	if d.delta == nil && len(d.buffer) > 0 {
 		delta, err := d.safeBuild(ctx, d.buffer)
@@ -168,33 +198,49 @@ func (d *Dynamic) QueryContext(ctx context.Context, pat *query.Pattern) ([]int32
 	d.mu.Unlock()
 
 	var out []int32
-	if main != nil {
-		ids, err := main.QueryContext(ctx, pat)
+	for _, sub := range []Engine{main, delta} {
+		if sub == nil {
+			continue
+		}
+		sqo := qo
+		var st QueryStats
+		if qo.Stats != nil {
+			sqo.Stats = &st
+		}
+		if qo.MaxResults > 0 {
+			remaining := qo.MaxResults - len(out)
+			if remaining <= 0 {
+				break
+			}
+			sqo.MaxResults = remaining
+		}
+		ids, err := sub.QueryWithContext(ctx, pat, sqo)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, ids...)
-	}
-	if delta != nil {
-		ids, err := delta.QueryContext(ctx, pat)
-		if err != nil {
-			return nil, err
+		if qo.Stats != nil {
+			qo.Stats.Add(st)
 		}
-		out = append(out, ids...)
 	}
+	// Main and delta ids are disjoint (duplicate ids are rejected at
+	// insert), so the merge is a plain sort with no deduplication.
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if qo.Stats != nil {
+		qo.Stats.Results = len(out)
+	}
 	return out, nil
 }
 
-// Compact folds the delta into a fresh main index; it is CompactContext
+// Compact folds the delta into a fresh main engine; it is CompactContext
 // with context.Background().
 func (d *Dynamic) Compact() error {
 	return d.CompactContext(context.Background())
 }
 
-// CompactContext folds the delta into a fresh main index under ctx. On
+// CompactContext folds the delta into a fresh main engine under ctx. On
 // failure it returns a *CompactionError and leaves the serving state (main
-// index and buffer) untouched.
+// engine and buffer) untouched.
 func (d *Dynamic) CompactContext(ctx context.Context) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -208,6 +254,10 @@ func (d *Dynamic) compactLocked(ctx context.Context) error {
 	if len(d.buffer) == 0 {
 		return nil
 	}
+	// Conservative invalidation: compaction preserves query answers, but a
+	// generation bump here is cheap and keeps the rule simple — any
+	// structural change invalidates.
+	d.gen.Add(1)
 	all := append(append([]*xmltree.Document{}, d.mainDocs...), d.buffer...)
 	main, err := d.safeBuild(ctx, all)
 	if err != nil {
@@ -262,7 +312,7 @@ func (d *Dynamic) PendingDocuments() int {
 	return len(d.buffer)
 }
 
-// NumNodes reports the main index's trie node count (0 before the first
+// NumNodes reports the main engine's trie node count (0 before the first
 // build); the delta's nodes are transient.
 func (d *Dynamic) NumNodes() int {
 	d.mu.RLock()
@@ -273,9 +323,71 @@ func (d *Dynamic) NumNodes() int {
 	return d.main.NumNodes()
 }
 
-// Main exposes the current frozen main index (nil before the first build).
-func (d *Dynamic) Main() *Index {
+// NumLinks reports the main engine's distinct path count (0 before the
+// first build); the delta's links are transient.
+func (d *Dynamic) NumLinks() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.main == nil {
+		return 0
+	}
+	return d.main.NumLinks()
+}
+
+// EstimatedDiskBytes reports the main engine's estimated size (0 before the
+// first build).
+func (d *Dynamic) EstimatedDiskBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.main == nil {
+		return 0
+	}
+	return d.main.EstimatedDiskBytes()
+}
+
+// Shards reports the main engine's partition statistics — non-nil exactly
+// when the Builder produces sharded engines.
+func (d *Dynamic) Shards() []ShardStat {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.main == nil {
+		return nil
+	}
+	return d.main.Shards()
+}
+
+// Documents returns the current corpus (main + buffered). Unlike frozen
+// engines, a Dynamic always retains its documents — they are the compaction
+// input — so this never depends on a KeepDocuments option.
+func (d *Dynamic) Documents() []*xmltree.Document {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*xmltree.Document, 0, len(d.mainDocs)+len(d.buffer))
+	out = append(out, d.mainDocs...)
+	out = append(out, d.buffer...)
+	return out
+}
+
+// Save is unsupported: a dynamic engine's delta state is transient by
+// design. Compact first and snapshot the frozen main engine instead.
+func (d *Dynamic) Save(w io.Writer) error {
+	return fmt.Errorf("engine: dynamic index snapshot: %w", ErrUnsupported)
+}
+
+// SaveFile is unsupported; see Save.
+func (d *Dynamic) SaveFile(path string) error {
+	return fmt.Errorf("engine: dynamic index snapshot: %w", ErrUnsupported)
+}
+
+// Generation identifies the currently served corpus state; it bumps before
+// every insert and compaction so generation-keyed caches invalidate.
+func (d *Dynamic) Generation() uint64 { return d.gen.Load() }
+
+// Main exposes the current frozen main engine (nil before the first build).
+func (d *Dynamic) Main() Engine {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.main
 }
+
+var _ Engine = (*Dynamic)(nil)

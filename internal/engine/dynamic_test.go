@@ -1,37 +1,21 @@
-package index
+package engine_test
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
 
+	"xseq/internal/engine"
 	"xseq/internal/pathenc"
 	"xseq/internal/query"
-	"xseq/internal/schema"
-	"xseq/internal/sequence"
 	"xseq/internal/xmltree"
 )
 
-// dynamicBuilder infers a schema per build, like the facade does.
-func dynamicBuilder() Builder {
-	return func(ctx context.Context, docs []*xmltree.Document) (*Index, error) {
-		roots := make([]*xmltree.Node, len(docs))
-		for i, d := range docs {
-			roots[i] = d.Root
-		}
-		sch, err := schema.Infer(roots)
-		if err != nil {
-			return nil, err
-		}
-		enc := pathenc.NewEncoder(1 << 20)
-		return BuildContext(ctx, docs, Options{Encoder: enc, Strategy: sequence.NewProbability(sch, enc)})
-	}
-}
-
 func TestDynamicBasics(t *testing.T) {
-	d, err := NewDynamic(dynamicBuilder(), []*xmltree.Document{
+	d, err := engine.NewDynamic(csBuilder(), []*xmltree.Document{
 		{ID: 0, Root: xmltree.Figure1()},
 	}, 0)
 	if err != nil {
@@ -71,10 +55,10 @@ func TestDynamicBasics(t *testing.T) {
 }
 
 func TestDynamicErrors(t *testing.T) {
-	if _, err := NewDynamic(nil, nil, 0); err == nil {
+	if _, err := engine.NewDynamic(nil, nil, 0); err == nil {
 		t.Fatal("nil builder should fail")
 	}
-	d, err := NewDynamic(dynamicBuilder(), nil, 0)
+	d, err := engine.NewDynamic(csBuilder(), nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +74,7 @@ func TestDynamicErrors(t *testing.T) {
 	if err := d.Insert(&xmltree.Document{ID: 5, Root: xmltree.Figure2a()}); err == nil {
 		t.Fatal("duplicate id should fail")
 	}
-	if _, err := NewDynamic(dynamicBuilder(), []*xmltree.Document{
+	if _, err := engine.NewDynamic(csBuilder(), []*xmltree.Document{
 		{ID: 1, Root: xmltree.Figure1()}, {ID: 1, Root: xmltree.Figure1()},
 	}, 0); err == nil {
 		t.Fatal("duplicate initial ids should fail")
@@ -98,7 +82,7 @@ func TestDynamicErrors(t *testing.T) {
 }
 
 func TestDynamicAutoCompact(t *testing.T) {
-	d, err := NewDynamic(dynamicBuilder(), nil, 3)
+	d, err := engine.NewDynamic(csBuilder(), nil, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,12 +101,102 @@ func TestDynamicAutoCompact(t *testing.T) {
 	}
 }
 
+// TestDynamicSaveUnsupported: a dynamic engine cannot snapshot its
+// transient delta state; the capability gap is the ErrUnsupported sentinel.
+func TestDynamicSaveUnsupported(t *testing.T) {
+	d, err := engine.NewDynamic(csBuilder(), []*xmltree.Document{
+		{ID: 0, Root: xmltree.Figure1()},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(nil); !errors.Is(err, engine.ErrUnsupported) {
+		t.Fatalf("Save = %v, want ErrUnsupported", err)
+	}
+	if err := d.SaveFile("/nonexistent/x"); !errors.Is(err, engine.ErrUnsupported) {
+		t.Fatalf("SaveFile = %v, want ErrUnsupported", err)
+	}
+}
+
+// TestDynamicGeneration: the generation bumps before every insert and every
+// non-empty compaction, and never otherwise — the contract generation-keyed
+// caches invalidate by.
+func TestDynamicGeneration(t *testing.T) {
+	d, err := engine.NewDynamic(csBuilder(), []*xmltree.Document{
+		{ID: 0, Root: xmltree.Figure1()},
+	}, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := d.Generation()
+	if _, err := d.Query(query.MustParse("//L")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() != g0 {
+		t.Fatal("query must not bump the generation")
+	}
+	if err := d.Insert(&xmltree.Document{ID: 1, Root: xmltree.Figure3a()}); err != nil {
+		t.Fatal(err)
+	}
+	g1 := d.Generation()
+	if g1 <= g0 {
+		t.Fatalf("insert did not bump: %d -> %d", g0, g1)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := d.Generation()
+	if g2 <= g1 {
+		t.Fatalf("compaction did not bump: %d -> %d", g1, g2)
+	}
+	// An empty-buffer compaction changes nothing and must not bump.
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation() != g2 {
+		t.Fatal("no-op compaction bumped the generation")
+	}
+}
+
+// TestDynamicQueryOptions: the option variants work across the main+delta
+// split — stats merge, limits count across both sides.
+func TestDynamicQueryOptions(t *testing.T) {
+	d, err := engine.NewDynamic(csBuilder(), []*xmltree.Document{
+		{ID: 0, Root: xmltree.Figure1()},
+	}, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(&xmltree.Document{ID: 1, Root: xmltree.Figure3a()}); err != nil {
+		t.Fatal(err)
+	}
+	pat := query.MustParse("//L[text='boston']")
+	var st engine.QueryStats
+	ids, err := d.QueryWithContext(context.Background(), pat, engine.QueryOptions{Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(ids, []int32{0, 1}) {
+		t.Fatalf("explain query = %v", ids)
+	}
+	if st.Results != 2 || st.Instances < 2 || st.LinkProbes == 0 {
+		t.Fatalf("stats did not merge across main+delta: %+v", st)
+	}
+	limited, err := d.QueryWithContext(context.Background(), pat, engine.QueryOptions{MaxResults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 1 {
+		t.Fatalf("limited query = %v, want 1 id", limited)
+	}
+}
+
 // Property: dynamic answers equal ground truth at every insertion point.
 func TestQuickDynamicEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(404))
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
-		d, err := NewDynamic(dynamicBuilder(), nil, 5)
+		d, err := engine.NewDynamic(csBuilder(), nil, 5)
 		if err != nil {
 			return false
 		}
@@ -158,7 +232,7 @@ func TestQuickDynamicEquivalence(t *testing.T) {
 }
 
 func TestDynamicConcurrentInsertQuery(t *testing.T) {
-	d, err := NewDynamic(dynamicBuilder(), nil, 16)
+	d, err := engine.NewDynamic(csBuilder(), nil, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,5 +270,35 @@ func TestDynamicConcurrentInsertQuery(t *testing.T) {
 	wg.Wait()
 	if d.NumDocuments() != 20 {
 		t.Fatalf("docs = %d", d.NumDocuments())
+	}
+}
+
+func TestDynamicContextCancelled(t *testing.T) {
+	d, err := engine.NewDynamic(csBuilder(), nil, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range largeCorpus(t, 32) {
+		if err := d.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The lazy delta build runs under the query's context.
+	if _, err := d.QueryContext(ctx, query.MustParse("//A")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dynamic query on cancelled ctx = %v", err)
+	}
+	if err := d.CompactContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("compact on cancelled ctx = %v", err)
+	}
+	// The failed compaction must not have disturbed serving: a live query
+	// still answers over everything.
+	got, err := d.Query(query.MustParse("//A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results after cancelled compaction")
 	}
 }

@@ -1,0 +1,154 @@
+// Test helpers shared by the dynamic-engine suites. The tests live in the
+// external package so they can exercise Dynamic over real index.Index
+// sub-engines (engine cannot import index itself).
+package engine_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"xseq/internal/engine"
+	"xseq/internal/index"
+	"xseq/internal/pathenc"
+	"xseq/internal/query"
+	"xseq/internal/schema"
+	"xseq/internal/sequence"
+	"xseq/internal/xmltree"
+)
+
+// csBuilder infers a schema per build and returns a probability-strategy
+// monolithic index, the way the xseq facade's dynamic builder does.
+func csBuilder() engine.Builder {
+	return func(ctx context.Context, docs []*xmltree.Document) (engine.Engine, error) {
+		roots := make([]*xmltree.Node, len(docs))
+		for i, d := range docs {
+			roots[i] = d.Root
+		}
+		sch, err := schema.Infer(roots)
+		if err != nil {
+			return nil, err
+		}
+		enc := pathenc.NewEncoder(1 << 20)
+		return index.BuildContext(ctx, docs, index.Options{Encoder: enc, Strategy: sequence.NewProbability(sch, enc)})
+	}
+}
+
+func mustBuild(t testing.TB, docs []*xmltree.Document) engine.Engine {
+	t.Helper()
+	e, err := csBuilder()(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func sameIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomTree(rng *rand.Rand, depth, fan int) *xmltree.Node {
+	return randomSubtree(rng, depth, fan, true)
+}
+
+func randomSubtree(rng *rand.Rand, depth, fan int, isRoot bool) *xmltree.Node {
+	labels := []string{"A", "B", "C"}
+	var n *xmltree.Node
+	if isRoot {
+		// A fixed root label keeps corpora schema-inferable.
+		n = xmltree.NewElem("R")
+	} else {
+		n = xmltree.NewElem(labels[rng.Intn(len(labels))])
+	}
+	if depth <= 1 {
+		return n
+	}
+	k := rng.Intn(fan + 1)
+	for i := 0; i < k; i++ {
+		if rng.Intn(6) == 0 {
+			n.Children = append(n.Children, xmltree.NewValue(labels[rng.Intn(len(labels))]))
+		} else {
+			n.Children = append(n.Children, randomSubtree(rng, depth-1, fan, false))
+		}
+	}
+	return n
+}
+
+func randomSubPattern(rng *rand.Rand, t *xmltree.Node) *xmltree.Node {
+	p := &xmltree.Node{Name: t.Name, Value: t.Value, IsValue: t.IsValue}
+	for _, c := range t.Children {
+		if rng.Intn(2) == 0 {
+			p.Children = append(p.Children, randomSubPattern(rng, c))
+		}
+	}
+	return p
+}
+
+// canonicalPattern clones the pattern with values replaced by their hash
+// bucket names, matching sequence.CanonicalizeValues on documents, so
+// ground-truth comparisons share the engine's designator-level semantics.
+func canonicalPattern(p *query.Pattern, enc *pathenc.Encoder) *query.Pattern {
+	var clone func(n *query.PNode) *query.PNode
+	clone = func(n *query.PNode) *query.PNode {
+		cp := &query.PNode{Axis: n.Axis, Wildcard: n.Wildcard, Name: n.Name, IsValue: n.IsValue, Value: n.Value}
+		if n.IsValue {
+			cp.Value = enc.SymbolName(enc.ValueSymbol(n.Value))
+		}
+		for _, c := range n.Children {
+			cp.Children = append(cp.Children, clone(c))
+		}
+		return cp
+	}
+	return &query.Pattern{Root: clone(p.Root), Text: p.Text}
+}
+
+// groundTruth evaluates the pattern at designator level: both documents and
+// pattern canonicalized to value-bucket names.
+func groundTruth(docs []*xmltree.Document, p *query.Pattern, enc *pathenc.Encoder) []int32 {
+	canon := make([]*xmltree.Document, len(docs))
+	for i, d := range docs {
+		canon[i] = &xmltree.Document{ID: d.ID, Root: sequence.CanonicalizeValues(d.Root, enc)}
+	}
+	return query.Eval(canon, canonicalPattern(p, enc))
+}
+
+// testCorpus generates n small random documents (the same shape the index
+// resilience suite uses).
+func testCorpus(t testing.TB, n int) []*xmltree.Document {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	labels := []string{"A", "B", "C"}
+	docs := make([]*xmltree.Document, n)
+	for i := range docs {
+		root := xmltree.NewElem("R")
+		for k := 0; k <= rng.Intn(3); k++ {
+			child := xmltree.NewElem(labels[rng.Intn(len(labels))])
+			if rng.Intn(2) == 0 {
+				child.Children = append(child.Children, xmltree.NewValue(labels[rng.Intn(len(labels))]))
+			}
+			root.Children = append(root.Children, child)
+		}
+		docs[i] = &xmltree.Document{ID: int32(i), Root: root}
+	}
+	return docs
+}
+
+// largeCorpus builds a corpus big enough that a full scan takes measurable
+// time, so cancellation has something to interrupt.
+func largeCorpus(t testing.TB, n int) []*xmltree.Document {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	docs := make([]*xmltree.Document, n)
+	for i := range docs {
+		docs[i] = &xmltree.Document{ID: int32(i), Root: randomTree(rng, 5, 3)}
+	}
+	return docs
+}

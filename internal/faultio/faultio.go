@@ -1,7 +1,7 @@
 // Package faultio provides fault-injection primitives for resilience
 // testing: readers and writers that fail, truncate, or short-write at a
 // chosen point, call-count triggers, stream corrupters, and flaky/panicky
-// wrappers for index.Builder. Tests use it to prove that every failure
+// wrappers for engine.Builder. Tests use it to prove that every failure
 // path — torn persistence writes, truncated or bit-flipped load streams,
 // builders that die mid-compaction — degrades gracefully instead of
 // corrupting state or crashing. The only serving-path importer is the
@@ -15,7 +15,7 @@ import (
 	"io"
 	"sync/atomic"
 
-	"xseq/internal/index"
+	"xseq/internal/engine"
 	"xseq/internal/xmltree"
 )
 
@@ -203,14 +203,14 @@ func FlipBit(b []byte, i int) []byte {
 	return out
 }
 
-// FlakyBuilder wraps an index.Builder so that every call counted by trig
+// FlakyBuilder wraps an engine.Builder so that every call counted by trig
 // from its firing point on fails with err (default ErrInjected) instead of
 // building. Calls before the trigger fires pass through.
-func FlakyBuilder(b index.Builder, trig *Trigger, err error) index.Builder {
+func FlakyBuilder(b engine.Builder, trig *Trigger, err error) engine.Builder {
 	if err == nil {
 		err = ErrInjected
 	}
-	return func(ctx context.Context, docs []*xmltree.Document) (*index.Index, error) {
+	return func(ctx context.Context, docs []*xmltree.Document) (engine.Engine, error) {
 		if trig.Hit() {
 			return nil, err
 		}
@@ -221,12 +221,12 @@ func FlakyBuilder(b index.Builder, trig *Trigger, err error) index.Builder {
 // FlakyBuilderN is FlakyBuilder failing only while the trigger count is
 // within [from, to] (1-based, inclusive): fail a window of calls, then
 // recover — a transiently sick dependency.
-func FlakyBuilderN(b index.Builder, from, to int, err error) index.Builder {
+func FlakyBuilderN(b engine.Builder, from, to int, err error) engine.Builder {
 	if err == nil {
 		err = ErrInjected
 	}
 	var calls atomic.Int64
-	return func(ctx context.Context, docs []*xmltree.Document) (*index.Index, error) {
+	return func(ctx context.Context, docs []*xmltree.Document) (engine.Engine, error) {
 		c := int(calls.Add(1))
 		if c >= from && c <= to {
 			return nil, err
@@ -235,14 +235,14 @@ func FlakyBuilderN(b index.Builder, from, to int, err error) index.Builder {
 	}
 }
 
-// PanickyBuilder wraps an index.Builder so calls counted by trig from its
+// PanickyBuilder wraps an engine.Builder so calls counted by trig from its
 // firing point on panic with value v — the worst-case builder failure a
 // resilient caller must contain.
-func PanickyBuilder(b index.Builder, trig *Trigger, v any) index.Builder {
+func PanickyBuilder(b engine.Builder, trig *Trigger, v any) engine.Builder {
 	if v == nil {
 		v = "faultio: injected panic"
 	}
-	return func(ctx context.Context, docs []*xmltree.Document) (*index.Index, error) {
+	return func(ctx context.Context, docs []*xmltree.Document) (engine.Engine, error) {
 		if trig.Hit() {
 			panic(v)
 		}

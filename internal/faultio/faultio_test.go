@@ -8,7 +8,7 @@ import (
 	"strings"
 	"testing"
 
-	"xseq/internal/index"
+	"xseq/internal/engine"
 	"xseq/internal/xmltree"
 )
 
@@ -119,9 +119,9 @@ func TestFlipBit(t *testing.T) {
 	}
 }
 
-func okBuilder(t *testing.T) index.Builder {
+func okBuilder(t *testing.T) engine.Builder {
 	t.Helper()
-	return func(ctx context.Context, docs []*xmltree.Document) (*index.Index, error) {
+	return func(ctx context.Context, docs []*xmltree.Document) (engine.Engine, error) {
 		return nil, nil
 	}
 }

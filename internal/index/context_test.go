@@ -94,33 +94,3 @@ func TestQueryWithContextVerify(t *testing.T) {
 		t.Fatalf("verified query on cancelled ctx = %v", err)
 	}
 }
-
-func TestDynamicContextCancelled(t *testing.T) {
-	d, err := NewDynamic(dynamicBuilder(), nil, 1<<30)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, doc := range largeCorpus(t, 32) {
-		if err := d.Insert(doc); err != nil {
-			t.Fatal(err)
-		}
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	// The lazy delta build runs under the query's context.
-	if _, err := d.QueryContext(ctx, query.MustParse("//A")); !errors.Is(err, context.Canceled) {
-		t.Fatalf("dynamic query on cancelled ctx = %v", err)
-	}
-	if err := d.CompactContext(ctx); !errors.Is(err, context.Canceled) {
-		t.Fatalf("compact on cancelled ctx = %v", err)
-	}
-	// The failed compaction must not have disturbed serving: a live query
-	// still answers over everything.
-	got, err := d.Query(query.MustParse("//A"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) == 0 {
-		t.Fatal("no results after cancelled compaction")
-	}
-}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"xseq/internal/engine"
 	"xseq/internal/pathenc"
 	"xseq/internal/query"
 	"xseq/internal/sequence"
@@ -318,45 +319,25 @@ func (ix *Index) collectDocs(lo, hi int32, out []int32) []int32 {
 	return out
 }
 
-// QueryOptions tweaks one query execution.
-type QueryOptions struct {
-	// Naive disables the sibling-cover constraint test, performing the
-	// naive subsequence matching of Section 4.2 — may return false alarms.
-	Naive bool
-	// Verify post-checks every candidate against the stored documents with
-	// the ground-truth matcher (requires KeepDocuments). With Verify the
-	// result is exact even under value-hash collisions.
-	Verify bool
-	// MaxResults stops the search once this many distinct documents have
-	// been found (0: unlimited). With Verify, candidates are capped before
-	// verification, so fewer than MaxResults may survive.
-	MaxResults int
-	// Stats, when non-nil, accumulates the work the query performed.
-	Stats *QueryStats
-}
+// QueryOptions tweaks one query execution. The definition lives in
+// internal/engine (the engine-agnostic query contract); the alias keeps
+// index.QueryOptions as the spelling throughout this package and its
+// callers.
+type QueryOptions = engine.QueryOptions
 
 // QueryStats reports the work one query performed — the observable
-// counterpart of Algorithm 1's steps.
-type QueryStats struct {
-	// Instances is the number of concrete instantiations of the pattern
-	// (wildcard/descendant expansion).
-	Instances int
-	// Orders is the number of query sequences tried (identical-sibling
-	// order enumeration across all instances).
-	Orders int
-	// LinkProbes counts binary-search probes into path links.
-	LinkProbes int64
-	// EntriesScanned counts link entries visited as match candidates.
-	EntriesScanned int64
-	// CoverChecks counts sibling-cover constraint evaluations.
-	CoverChecks int64
-	// CoverRejections counts candidates rejected by the constraint — each
-	// one a false alarm naive matching would have pursued.
-	CoverRejections int64
-	// Results is the number of distinct documents returned (before
-	// verification).
-	Results int
-}
+// counterpart of Algorithm 1's steps. Aliased from internal/engine; see
+// QueryOptions.
+type QueryStats = engine.QueryStats
+
+// Shards reports per-partition statistics; a monolithic index has none.
+func (ix *Index) Shards() []engine.ShardStat { return nil }
+
+// Generation identifies the index's corpus snapshot. A frozen index never
+// changes after build/load, so the generation is constant.
+func (ix *Index) Generation() uint64 { return 0 }
+
+var _ engine.Engine = (*Index)(nil)
 
 // Query answers a tree-pattern query, returning matching document ids in
 // ascending order. The semantics are designator-level: two values in the

@@ -1,0 +1,119 @@
+package query
+
+import (
+	"testing"
+
+	"xseq/internal/xmltree"
+)
+
+// TestPatternStringStableCacheKey pins the property the query result cache
+// keys on: Pattern.String() is a canonical form — parse→String→parse is a
+// fixpoint across descendant, predicate, wildcard, and prefix forms, and
+// spelling variants of the same query collapse to one rendering (so one
+// cache entry, never a stale split-brain pair).
+func TestPatternStringStableCacheKey(t *testing.T) {
+	forms := []string{
+		"/a/b",
+		"//a",
+		"/a//b/c",
+		"/a/*/c",
+		"/*",
+		"//*[b]",
+		"/a[b]",
+		"/a[b][c/d]",
+		"/a[b/c='v']",
+		"/a[text='v']",
+		"/a[text='bos*']",
+		"//site//item[location='United States']/mail/date[text='07/05/2000']",
+		"/a[b='x']//c[d][e='y']",
+	}
+	for _, s := range forms {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		canonical := p.String()
+		p2, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not reparse: %v", canonical, s, err)
+		}
+		if got := p2.String(); got != canonical {
+			t.Fatalf("String not a fixpoint for %q: %q -> %q", s, canonical, got)
+		}
+		if p.Size() != p2.Size() {
+			t.Fatalf("%q: size changed across round-trip: %d vs %d", s, p.Size(), p2.Size())
+		}
+	}
+
+	// Spelling variants mean the same query; a cache keyed on String must
+	// see one key for all of them.
+	variants := [][]string{
+		{"/a[text='v']", "/a[.='v']", "/a[text()='v']"},
+		{"/a/b", "/a/b", "/a/b"},
+	}
+	for _, group := range variants {
+		want := MustParse(group[0]).String()
+		for _, s := range group[1:] {
+			if got := MustParse(s).String(); got != want {
+				t.Fatalf("variant %q canonicalizes to %q, %q to %q — cache key split",
+					group[0], want, s, got)
+			}
+		}
+	}
+}
+
+// FuzzPatternCanonical fuzzes the cache-key property directly: whenever a
+// string parses, its canonical rendering must reparse to the same rendering
+// AND answer identically on a probe corpus — canonical equality is only a
+// safe cache key if it implies answer equality.
+func FuzzPatternCanonical(f *testing.F) {
+	seeds := []string{
+		"/a/b",
+		"//a",
+		"/a//b",
+		"/a/*/c",
+		"/*",
+		"/a[b]",
+		"/a[b][c/d]",
+		"/a[b/c='v']",
+		"/a[text='v']",
+		"/a[.='v']",
+		"/a[text()='v']",
+		"/a[text='bos*']",
+		"//b[c='x']//d",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	var probes []*xmltree.Node
+	for _, src := range []string{
+		"<a><b>v</b><c><d/></c></a>",
+		"<a><b><c>v</c></b></a>",
+		"<a>boston<b/></a>",
+	} {
+		root, err := xmltree.ParseString(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		probes = append(probes, root)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		canonical := p.String()
+		p2, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not reparse: %v", canonical, s, err)
+		}
+		if got := p2.String(); got != canonical {
+			t.Fatalf("String not a fixpoint: %q -> %q", canonical, got)
+		}
+		for i, root := range probes {
+			if p.MatchesTree(root) != p2.MatchesTree(root) {
+				t.Fatalf("probe %d: %q and its canonical %q disagree", i, s, canonical)
+			}
+		}
+	})
+}

@@ -22,6 +22,12 @@ func (s *Server) Reload() error {
 		err = checkShards(s.cfg.ExpectShards, ix)
 	}
 	if err == nil {
+		// The fresh snapshot gets a fresh, empty cache — the swap itself is
+		// the invalidation; readers on the old snapshot keep its cache,
+		// whose entries are correct for that corpus.
+		if s.cfg.QueryCacheEntries > 0 {
+			ix.EnableQueryCache(s.cfg.QueryCacheEntries)
+		}
 		s.swap.Swap(ix)
 	}
 	cur := s.swap.Current()

@@ -50,6 +50,11 @@ type Config struct {
 	// initial snapshot fails startup; a mismatched replacement is rejected
 	// on reload and the old snapshot keeps serving. 0 accepts any layout.
 	ExpectShards int
+	// QueryCacheEntries, when > 0, wraps every served snapshot — initial
+	// and reloaded — in a result cache of this many entries. A reload swaps
+	// in a fresh snapshot with a fresh empty cache, so stale results are
+	// structurally impossible; hit/miss counters appear in /stats.
+	QueryCacheEntries int
 	// Chaos, when non-empty, injects per-route faults (latency, errors,
 	// panics) for resilience drills; leave nil in production.
 	Chaos Chaos
@@ -124,6 +129,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if err := checkShards(cfg.ExpectShards, ix); err != nil {
 		return nil, fmt.Errorf("server: initial snapshot: %w", err)
+	}
+	if cfg.QueryCacheEntries > 0 {
+		ix.EnableQueryCache(cfg.QueryCacheEntries)
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -303,7 +311,10 @@ type statsResponse struct {
 		Shards   int         `json:"shards"`
 		PerShard []shardStat `json:"per_shard,omitempty"`
 	} `json:"index"`
-	Admission struct {
+	// QueryCache is present only when the server runs with
+	// Config.QueryCacheEntries > 0.
+	QueryCache *queryCacheStat `json:"query_cache,omitempty"`
+	Admission  struct {
 		MaxConcurrent int   `json:"max_concurrent"`
 		MaxQueue      int   `json:"max_queue"`
 		Active        int64 `json:"active"`
@@ -323,6 +334,15 @@ type shardStat struct {
 	Documents  int `json:"documents"`
 	IndexNodes int `json:"index_nodes"`
 	Links      int `json:"links"`
+}
+
+// queryCacheStat is the /stats query-cache section.
+type queryCacheStat struct {
+	Capacity  int   `json:"capacity"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
 }
 
 // checkShards enforces Config.ExpectShards against a loaded snapshot.
@@ -376,6 +396,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			IndexNodes: ps.IndexNodes,
 			Links:      ps.Links,
 		})
+	}
+	if qc := st.QueryCache; qc != nil {
+		resp.QueryCache = &queryCacheStat{
+			Capacity:  qc.Capacity,
+			Entries:   qc.Entries,
+			Hits:      qc.Hits,
+			Misses:    qc.Misses,
+			Evictions: qc.Evictions,
+		}
 	}
 	resp.Admission.MaxConcurrent = s.cfg.MaxConcurrent
 	resp.Admission.MaxQueue = s.cfg.MaxQueue

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xseq/internal/engine"
 	"xseq/internal/index"
 	"xseq/internal/query"
 	"xseq/internal/xmltree"
@@ -238,6 +239,29 @@ func (s *Index) EstimatedDiskBytes() int64 {
 	const c = 8
 	return 4*int64(s.numDocs) + c*int64(s.NumNodes())
 }
+
+// Shards reports per-partition shape statistics in partition order; empty
+// partitions report zeros.
+func (s *Index) Shards() []engine.ShardStat {
+	out := make([]engine.ShardStat, len(s.shards))
+	for i, sh := range s.shards {
+		if sh == nil {
+			continue
+		}
+		out[i] = engine.ShardStat{
+			Documents: sh.NumDocuments(),
+			Nodes:     sh.NumNodes(),
+			Links:     sh.NumLinks(),
+		}
+	}
+	return out
+}
+
+// Generation identifies the index's corpus snapshot. A sharded index is
+// frozen after build/load, so the generation is constant.
+func (s *Index) Generation() uint64 { return 0 }
+
+var _ engine.Engine = (*Index)(nil)
 
 // Documents returns the retained corpus across shards (nil unless the
 // shards were built with KeepDocuments), in no particular order.

@@ -13,6 +13,12 @@
 // sibling-cover test preserves the equivalence between a structure match
 // and a subsequence match (Theorems 2 and 3).
 //
+// Every storage organization — monolithic, hash-sharded, dynamic base+delta
+// — implements one internal Engine contract, and Index dispatches every
+// query, stats, and persistence call through exactly one engine value; an
+// optional bounded result cache (Config.QueryCacheEntries) composes over
+// any of them. Operations a layout cannot perform report ErrUnsupported.
+//
 // Quick start:
 //
 //	doc, _ := xseq.ParseDocumentString(1, "<P><R><L>newyork</L></R></P>")
@@ -32,9 +38,11 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"xseq/internal/engine"
 	"xseq/internal/index"
 	"xseq/internal/pager"
 	"xseq/internal/pathenc"
+	"xseq/internal/qcache"
 	"xseq/internal/query"
 	"xseq/internal/schema"
 	"xseq/internal/sequence"
@@ -54,7 +62,13 @@ type CorruptError = index.CorruptError
 // CompactionError reports a failed DynamicIndex compaction. The index keeps
 // serving its pre-compaction state and retries automatically; detect the
 // condition with errors.As.
-type CompactionError = index.CompactionError
+type CompactionError = engine.CompactionError
+
+// ErrUnsupported reports an operation the index's storage layout cannot
+// perform — paged I/O simulation on a sharded index, SchemaOutline where no
+// schema was retained. Detect it with errors.Is; the returned error names
+// the operation and the layout.
+var ErrUnsupported = engine.ErrUnsupported
 
 // PanicError wraps a panic that escaped the library internals through a
 // public API call — always a bug in xseq, surfaced as an error (with the
@@ -170,21 +184,28 @@ type Config struct {
 	// queries fan out to every shard concurrently and merge, returning
 	// exactly the ids (same set, same ascending order) the monolithic index
 	// returns. Each shard infers its own schema from its partition, so
-	// SchemaOutline is empty for sharded indexes; paged I/O simulation is
-	// unsupported on them.
+	// SchemaOutline reports ErrUnsupported for sharded indexes, as does
+	// paged I/O simulation. BuildDynamic honours Shards too: compaction
+	// rebuilds run through the sharded build path.
 	Shards int
 	// BuildWorkers bounds how many shards build concurrently
 	// (<= 0: runtime.GOMAXPROCS(0)). Ignored when Shards <= 1.
 	BuildWorkers int
+	// QueryCacheEntries bounds a per-index LRU cache of query results
+	// (0: no cache). Hot repeated patterns are answered from the cache;
+	// entries are keyed by the canonical pattern string and the engine's
+	// snapshot generation, so a DynamicIndex insert or compaction
+	// invalidates them exactly. Cache counters surface in Stats.QueryCache.
+	QueryCacheEntries int
 }
 
-// Index is an immutable constraint-sequence index over a corpus — either
-// one monolithic index or, when built with Config.Shards > 1, a
-// hash-partitioned set of shards queried in parallel. The query API is
-// identical either way.
+// Index is an immutable constraint-sequence index over a corpus. The
+// storage organization underneath — one monolithic index, or a
+// hash-partitioned set of shards built with Config.Shards > 1 — is hidden
+// behind a single engine value, optionally wrapped in a query result cache;
+// the query API is identical either way.
 type Index struct {
-	ix   *index.Index // monolithic engine (nil when sharded)
-	sh   *shard.Index // sharded engine (nil when monolithic)
+	eng  engine.Engine // single dispatch point (may be a *qcache.Cache)
 	sch  *schema.Schema
 	pool *pager.Pool
 }
@@ -218,6 +239,7 @@ func BuildContext(ctx context.Context, docs []*Document, cfg Config) (ix0 *Index
 		}
 		inner[i] = &xmltree.Document{ID: d.id, Root: d.root}
 	}
+	out := &Index{}
 	if cfg.Shards > 1 {
 		sh, err := shard.BuildContext(ctx, inner, func(ctx context.Context, part []*xmltree.Document) (*index.Index, error) {
 			ix, _, err := buildPartition(ctx, part, cfg, true)
@@ -226,13 +248,18 @@ func BuildContext(ctx context.Context, docs []*Document, cfg Config) (ix0 *Index
 		if err != nil {
 			return nil, fmt.Errorf("xseq: build: %w", err)
 		}
-		return &Index{sh: sh}, nil
+		out.eng = sh
+	} else {
+		ix, sch, err := buildPartition(ctx, inner, cfg, false)
+		if err != nil {
+			return nil, fmt.Errorf("xseq: build: %w", err)
+		}
+		out.eng, out.sch = ix, sch
 	}
-	ix, sch, err := buildPartition(ctx, inner, cfg, false)
-	if err != nil {
-		return nil, fmt.Errorf("xseq: build: %w", err)
+	if cfg.QueryCacheEntries > 0 {
+		out.EnableQueryCache(cfg.QueryCacheEntries)
 	}
-	return &Index{ix: ix, sch: sch}, nil
+	return out, nil
 }
 
 // buildPartition infers a schema over one corpus partition (the whole
@@ -278,6 +305,24 @@ func buildPartition(ctx context.Context, inner []*xmltree.Document, cfg Config, 
 	return ix, sch, nil
 }
 
+// EnableQueryCache wraps the index's engine in a bounded LRU result cache
+// of at most entries results (<= 0: a default of 1024), replacing any cache
+// already installed (its counters reset). Build installs one automatically
+// when Config.QueryCacheEntries > 0; call this after Load/LoadFile, before
+// the index starts serving — it is not safe to call concurrently with
+// queries.
+func (ix *Index) EnableQueryCache(entries int) {
+	ix.eng = qcache.New(ix.baseEngine(), entries)
+}
+
+// baseEngine unwraps the result cache, if one is installed.
+func (ix *Index) baseEngine() engine.Engine {
+	if c, ok := ix.eng.(*qcache.Cache); ok {
+		return c.Inner()
+	}
+	return ix.eng
+}
+
 // Query answers an XPath-subset query (child and descendant steps,
 // wildcards, branching predicates, value tests), returning matching
 // document ids in ascending order. Value semantics are designator-level:
@@ -298,15 +343,7 @@ func (ix *Index) QueryContext(ctx context.Context, q string) (ids []int32, err e
 	if err != nil {
 		return nil, err
 	}
-	return ix.queryWith(ctx, pat, index.QueryOptions{})
-}
-
-// queryWith routes a parsed pattern to the monolithic or sharded engine.
-func (ix *Index) queryWith(ctx context.Context, pat *query.Pattern, qo index.QueryOptions) ([]int32, error) {
-	if ix.sh != nil {
-		return ix.sh.QueryWithContext(ctx, pat, qo)
-	}
-	return ix.ix.QueryWithContext(ctx, pat, qo)
+	return ix.eng.QueryWithContext(ctx, pat, engine.QueryOptions{})
 }
 
 // QueryVerified is Query with exact value semantics: every candidate is
@@ -322,7 +359,7 @@ func (ix *Index) QueryVerifiedContext(ctx context.Context, q string) (ids []int3
 	if err != nil {
 		return nil, err
 	}
-	return ix.queryWith(ctx, pat, index.QueryOptions{Verify: true})
+	return ix.eng.QueryWithContext(ctx, pat, engine.QueryOptions{Verify: true})
 }
 
 // QueryLimit is Query that stops after max distinct documents (max <= 0:
@@ -343,7 +380,7 @@ func (ix *Index) QueryLimitContext(ctx context.Context, q string, max int) (ids 
 	if err != nil {
 		return nil, err
 	}
-	return ix.queryWith(ctx, pat, index.QueryOptions{MaxResults: max})
+	return ix.eng.QueryWithContext(ctx, pat, engine.QueryOptions{MaxResults: max})
 }
 
 // Explain reports the work a query performed.
@@ -370,15 +407,17 @@ func (ix *Index) QueryExplain(q string) ([]int32, Explain, error) {
 	return ix.QueryExplainContext(context.Background(), q)
 }
 
-// QueryExplainContext is QueryExplain honouring ctx.
+// QueryExplainContext is QueryExplain honouring ctx. Explain queries always
+// execute (never served from the result cache): the point is to measure the
+// work.
 func (ix *Index) QueryExplainContext(ctx context.Context, q string) (_ []int32, _ Explain, err error) {
 	defer guard(&err)
 	pat, err := query.Parse(q)
 	if err != nil {
 		return nil, Explain{}, err
 	}
-	var st index.QueryStats
-	ids, err := ix.queryWith(ctx, pat, index.QueryOptions{Stats: &st})
+	var st engine.QueryStats
+	ids, err := ix.eng.QueryWithContext(ctx, pat, engine.QueryOptions{Stats: &st})
 	if err != nil {
 		return nil, Explain{}, err
 	}
@@ -410,6 +449,9 @@ type Stats struct {
 	// PerShard reports each shard's shape, nil for a monolithic index.
 	// Empty shards (fewer documents than shards) report zeros.
 	PerShard []ShardStats
+	// QueryCache reports the result cache's counters, nil when no cache is
+	// installed.
+	QueryCache *QueryCacheStats
 }
 
 // ShardStats is one shard's slice of a sharded index's Stats.
@@ -422,53 +464,76 @@ type ShardStats struct {
 	Links int
 }
 
+// QueryCacheStats reports the query result cache's counters.
+type QueryCacheStats struct {
+	// Capacity is the configured entry bound.
+	Capacity int
+	// Entries is the current number of cached results.
+	Entries int
+	// Hits counts queries served from the cache.
+	Hits int64
+	// Misses counts queries that executed (including uncacheable variants:
+	// explain and limited queries always execute).
+	Misses int64
+	// Evictions counts entries dropped for capacity or staleness.
+	Evictions int64
+}
+
+// cacheStats converts a qcache snapshot, nil when eng carries no cache.
+func cacheStats(eng engine.Engine) *QueryCacheStats {
+	c, ok := eng.(*qcache.Cache)
+	if !ok {
+		return nil
+	}
+	s := c.Stats()
+	return &QueryCacheStats{
+		Capacity:  s.Capacity,
+		Entries:   s.Entries,
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+	}
+}
+
 // Stats returns index statistics.
 func (ix *Index) Stats() Stats {
-	if ix.sh != nil {
-		st := Stats{
-			Documents:          ix.sh.NumDocuments(),
-			IndexNodes:         ix.sh.NumNodes(),
-			Links:              ix.sh.NumLinks(),
-			EstimatedDiskBytes: ix.sh.EstimatedDiskBytes(),
-			Shards:             ix.sh.NumShards(),
-		}
-		st.PerShard = make([]ShardStats, ix.sh.NumShards())
-		for i := range st.PerShard {
-			if s := ix.sh.Shard(i); s != nil {
-				st.PerShard[i] = ShardStats{Documents: s.NumDocuments(), IndexNodes: s.NumNodes(), Links: s.NumLinks()}
-			}
-		}
-		return st
+	st := Stats{
+		Documents:          ix.eng.NumDocuments(),
+		IndexNodes:         ix.eng.NumNodes(),
+		Links:              ix.eng.NumLinks(),
+		EstimatedDiskBytes: ix.eng.EstimatedDiskBytes(),
+		QueryCache:         cacheStats(ix.eng),
 	}
-	return Stats{
-		Documents:          ix.ix.NumDocuments(),
-		IndexNodes:         ix.ix.NumNodes(),
-		Links:              ix.ix.NumLinks(),
-		EstimatedDiskBytes: ix.ix.EstimatedDiskBytes(),
+	if per := ix.eng.Shards(); per != nil {
+		st.Shards = len(per)
+		st.PerShard = make([]ShardStats, len(per))
+		for i, s := range per {
+			st.PerShard[i] = ShardStats{Documents: s.Documents, IndexNodes: s.Nodes, Links: s.Links}
+		}
 	}
+	return st
 }
 
 // SchemaOutline renders the inferred schema as an annotated DTD-like
 // outline with per-node occurrence probabilities — the statistics g_best
-// sequences by. Empty for indexes reconstructed by Load (rebuild to
-// inspect; the schema itself is preserved and used) and for sharded
-// indexes (each shard infers a private schema from its partition).
-func (ix *Index) SchemaOutline() string {
+// sequences by. The schema is only retained by a monolithic Build: indexes
+// reconstructed by Load (rebuild to inspect; the schema itself is preserved
+// and used) and sharded indexes (each shard infers a private schema from
+// its partition) return an error wrapping ErrUnsupported.
+func (ix *Index) SchemaOutline() (string, error) {
 	if ix.sch == nil {
-		return ""
+		if ix.eng.Shards() != nil {
+			return "", fmt.Errorf("xseq: schema outline on a sharded index (each shard infers a private schema): %w", ErrUnsupported)
+		}
+		return "", fmt.Errorf("xseq: schema outline on a loaded snapshot (outline is not persisted; rebuild to inspect): %w", ErrUnsupported)
 	}
-	return ix.sch.String()
+	return ix.sch.String(), nil
 }
 
 // FetchDocuments returns the stored documents for the given ids (in input
 // order, skipping unknown ids). Requires Config.KeepDocuments.
 func (ix *Index) FetchDocuments(ids []int32) ([]*Document, error) {
-	var stored []*xmltree.Document
-	if ix.sh != nil {
-		stored = ix.sh.Documents()
-	} else {
-		stored = ix.ix.Documents()
-	}
+	stored := ix.eng.Documents()
 	if stored == nil {
 		return nil, fmt.Errorf("xseq: FetchDocuments requires Config.KeepDocuments")
 	}
@@ -494,10 +559,7 @@ func (ix *Index) FetchDocuments(ids []int32) ([]*Document, error) {
 // CRC) followed by one v2 stream per shard.
 func (ix *Index) Save(w io.Writer) (err error) {
 	defer guard(&err)
-	if ix.sh != nil {
-		return ix.sh.Save(w)
-	}
-	return ix.ix.Save(w)
+	return ix.eng.Save(w)
 }
 
 // SaveFile is Save to a file, crash-safely: the index is written to a
@@ -506,10 +568,7 @@ func (ix *Index) Save(w io.Writer) (err error) {
 // at path survives intact).
 func (ix *Index) SaveFile(path string) (err error) {
 	defer guard(&err)
-	if ix.sh != nil {
-		return ix.sh.SaveFile(path)
-	}
-	return ix.ix.SaveFile(path)
+	return ix.eng.SaveFile(path)
 }
 
 // Load reconstructs an index written by Save, sniffing the stream's magic
@@ -532,13 +591,13 @@ func Load(r io.Reader) (_ *Index, err error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Index{sh: sh}, nil
+		return &Index{eng: sh}, nil
 	}
 	inner, err := index.Load(replay)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{ix: inner}, nil
+	return &Index{eng: inner}, nil
 }
 
 // LoadFile is Load from a file written by SaveFile (or any Save stream on
@@ -555,13 +614,13 @@ func LoadFile(path string) (_ *Index, err error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Index{sh: sh}, nil
+		return &Index{eng: sh}, nil
 	}
 	inner, err := index.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{ix: inner}, nil
+	return &Index{eng: inner}, nil
 }
 
 // fileIsSharded sniffs path's first bytes for the sharded snapshot magic.
@@ -580,6 +639,11 @@ func fileIsSharded(path string) (bool, error) {
 // replacements — the serving-side counterpart of SaveFile/LoadFile. Readers
 // call Current once per query and keep using that snapshot for the whole
 // operation; a concurrent swap never disturbs them. Safe for concurrent use.
+//
+// Result caches are per-Index, so a swap implicitly invalidates: the fresh
+// snapshot starts with a fresh (empty) cache, and readers still holding the
+// old snapshot keep hitting the old cache, whose entries are correct for
+// that snapshot's corpus.
 type Swapper struct {
 	p atomic.Pointer[Index]
 }
@@ -627,27 +691,35 @@ func (s *Swapper) SwapFromFile(path string) (*Index, error) {
 // automatically once it reaches the compaction threshold). Safe for
 // concurrent use.
 type DynamicIndex struct {
-	d *index.Dynamic
+	d   *engine.Dynamic
+	eng engine.Engine // d, possibly wrapped in a result cache
 }
 
 // BuildDynamic builds an updatable index over an initial corpus (which may
-// be empty). threshold is the delta size that triggers automatic
-// compaction (<= 0: 1024). Dynamic indexes are always monolithic:
-// Config.Shards is ignored (the delta buffer is small by construction, and
-// compaction rebuilds are where sharding would belong — see ROADMAP).
+// be empty). threshold is the delta size that triggers automatic compaction
+// (<= 0: 1024). Config.Shards is honoured: with Shards > 1 every rebuild —
+// the initial build, lazy delta builds, and compactions — runs through the
+// sharded build path, so compaction parallelizes across BuildWorkers
+// workers and queries fan out across shards; results are identical to the
+// monolithic dynamic index either way. Config.QueryCacheEntries composes a
+// result cache over the whole dynamic engine, invalidated exactly on every
+// insert and compaction.
 func BuildDynamic(initial []*Document, cfg Config, threshold int) (_ *DynamicIndex, err error) {
 	defer guard(&err)
-	cfg.Shards = 0 // dynamic sub-indexes are monolithic
-	builder := func(ctx context.Context, inner []*xmltree.Document) (*index.Index, error) {
+	subCfg := cfg
+	// The cache layers over the dynamic engine as a whole, not inside the
+	// sub-engines it rebuilds.
+	subCfg.QueryCacheEntries = 0
+	builder := func(ctx context.Context, inner []*xmltree.Document) (engine.Engine, error) {
 		wrapped := make([]*Document, len(inner))
 		for i, d := range inner {
 			wrapped[i] = &Document{id: d.ID, root: d.Root}
 		}
-		ix, err := BuildContext(ctx, wrapped, cfg)
+		ix, err := BuildContext(ctx, wrapped, subCfg)
 		if err != nil {
 			return nil, err
 		}
-		return ix.ix, nil
+		return ix.eng, nil
 	}
 	inner := make([]*xmltree.Document, len(initial))
 	for i, d := range initial {
@@ -656,11 +728,15 @@ func BuildDynamic(initial []*Document, cfg Config, threshold int) (_ *DynamicInd
 		}
 		inner[i] = &xmltree.Document{ID: d.id, Root: d.root}
 	}
-	dyn, err := index.NewDynamic(builder, inner, threshold)
+	dyn, err := engine.NewDynamic(builder, inner, threshold)
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicIndex{d: dyn}, nil
+	di := &DynamicIndex{d: dyn, eng: dyn}
+	if cfg.QueryCacheEntries > 0 {
+		di.eng = qcache.New(dyn, cfg.QueryCacheEntries)
+	}
+	return di, nil
 }
 
 // Insert adds one document; ids must be unique across the index's life. It
@@ -696,7 +772,7 @@ func (d *DynamicIndex) QueryContext(ctx context.Context, q string) (ids []int32,
 	if err != nil {
 		return nil, err
 	}
-	return d.d.QueryContext(ctx, pat)
+	return d.eng.QueryWithContext(ctx, pat, engine.QueryOptions{})
 }
 
 // Compact folds buffered documents into the main index. On failure the
@@ -721,6 +797,10 @@ func (d *DynamicIndex) NumDocuments() int { return d.d.NumDocuments() }
 
 // PendingDocuments reports how many documents await compaction.
 func (d *DynamicIndex) PendingDocuments() int { return d.d.PendingDocuments() }
+
+// CacheStats reports the query result cache's counters, nil when built
+// without Config.QueryCacheEntries.
+func (d *DynamicIndex) CacheStats() *QueryCacheStats { return cacheStats(d.eng) }
 
 // Health summarizes a DynamicIndex's serving condition for health
 // endpoints. Degraded means the most recent compaction failed; the index is
@@ -765,47 +845,66 @@ type IOStats struct {
 	DiskAccesses int64
 }
 
+// pagedEngine is the capability a layout must have for paged I/O
+// simulation; only the monolithic index has a single page layout.
+type pagedEngine interface {
+	AttachPager(*pager.Pool) (int64, error)
+	DetachPager()
+	PagerStats() pager.Stats
+	ResetPagerStats()
+	DropPagerCache()
+}
+
+// pagedEngine returns the paged-I/O capability of the underlying engine,
+// nil when the layout has none.
+func (ix *Index) pagedEngine() pagedEngine {
+	pe, _ := ix.baseEngine().(pagedEngine)
+	return pe
+}
+
 // EnablePagedIO lays the index out on simulated 4 KiB pages behind an LRU
 // buffer pool of poolPages pages (<= 0: 256) and starts counting disk
 // accesses. It returns the on-disk page count. Paged I/O simulation is a
-// single-index instrument; sharded indexes reject it.
+// single-index instrument; layouts without one page image (sharded indexes)
+// return an error wrapping ErrUnsupported.
 func (ix *Index) EnablePagedIO(poolPages int) (int64, error) {
-	if ix.sh != nil {
-		return 0, fmt.Errorf("xseq: paged I/O simulation is not supported on sharded indexes")
+	pe := ix.pagedEngine()
+	if pe == nil {
+		return 0, fmt.Errorf("xseq: paged I/O simulation on a sharded index: %w", ErrUnsupported)
 	}
 	ix.pool = pager.NewPool(poolPages)
-	return ix.ix.AttachPager(ix.pool)
+	return pe.AttachPager(ix.pool)
 }
 
 // DisablePagedIO stops I/O accounting.
 func (ix *Index) DisablePagedIO() {
-	if ix.ix == nil {
-		return
+	if pe := ix.pagedEngine(); pe != nil {
+		pe.DetachPager()
 	}
-	ix.ix.DetachPager()
 	ix.pool = nil
 }
 
 // IO returns the I/O counters accumulated since EnablePagedIO (or the last
 // ResetIO).
 func (ix *Index) IO() IOStats {
-	if ix.ix == nil {
+	pe := ix.pagedEngine()
+	if pe == nil {
 		return IOStats{}
 	}
-	s := ix.ix.PagerStats()
+	s := pe.PagerStats()
 	return IOStats{Reads: s.Reads, Hits: s.Hits, DiskAccesses: s.Misses}
 }
 
 // ResetIO zeroes the I/O counters, keeping the buffer pool warm.
 func (ix *Index) ResetIO() {
-	if ix.ix != nil {
-		ix.ix.ResetPagerStats()
+	if pe := ix.pagedEngine(); pe != nil {
+		pe.ResetPagerStats()
 	}
 }
 
 // DropIOCache empties the buffer pool (cold-cache measurements).
 func (ix *Index) DropIOCache() {
-	if ix.ix != nil {
-		ix.ix.DropPagerCache()
+	if pe := ix.pagedEngine(); pe != nil {
+		pe.DropPagerCache()
 	}
 }

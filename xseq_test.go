@@ -199,7 +199,10 @@ func TestBulkLoadConfig(t *testing.T) {
 
 func TestSchemaOutline(t *testing.T) {
 	ix := buildCorpus(t, Config{})
-	out := ix.SchemaOutline()
+	out, err := ix.SchemaOutline()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "P") || !strings.Contains(out, "p(C|root)") {
 		t.Fatalf("outline = %q", out)
 	}
@@ -212,8 +215,8 @@ func TestSchemaOutline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.SchemaOutline() != "" {
-		t.Fatal("loaded index should have no outline")
+	if _, err := back.SchemaOutline(); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("loaded index outline err = %v, want ErrUnsupported", err)
 	}
 }
 
