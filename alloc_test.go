@@ -1,0 +1,173 @@
+package xseq
+
+// Allocation-regression tests over the public API: the steady-state Query
+// path on a warm index must perform a small fixed number of allocations per
+// operation on every engine layout — monolithic, sharded, and dynamic. The
+// kernel-level counterpart (pre-parsed patterns, tighter bounds) lives in
+// internal/index/alloc_test.go; here the per-op cost includes query-string
+// parsing, so the bounds are layout-shaped constants, and the point is that
+// none of them scale with corpus size or shard contents.
+
+import (
+	"sync"
+	"testing"
+
+	"xseq/internal/datagen"
+)
+
+// allocDocs generates a deterministic synthetic corpus as public Documents.
+func allocDocs(t testing.TB, n int) []*Document {
+	t.Helper()
+	_, inner, err := datagen.Synth(datagen.SynthParams{L: 3, F: 5, A: 25, I: 10, P: 40, Seed: 1}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*Document, len(inner))
+	for i, d := range inner {
+		docs[i] = &Document{id: d.ID, root: d.Root}
+	}
+	return docs
+}
+
+// queryFn adapts the two index types to one measurement loop.
+type queryFn func(q string) ([]int32, error)
+
+func TestQueryAllocsAllLayouts(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool reuse; allocation counts are asserted in non-race runs")
+	}
+	docs := allocDocs(t, 200)
+
+	mono, err := Build(docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Build(docs, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := BuildDynamic(docs, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"/n0", "/n0/n1", "//n2", "/n0/*"}
+
+	// Bounds are per-layout constants: the sharded fan-out spawns one
+	// goroutine per shard and merges per-shard results, so its fixed cost
+	// is O(shards) allocations on top of the monolithic kernel's; the
+	// dynamic engine with an empty delta adds only its dispatch. Parsing
+	// the query string is included (a handful of pattern nodes).
+	layouts := []struct {
+		name  string
+		query queryFn
+		max   float64
+	}{
+		{"monolithic", mono.Query, 60},
+		{"sharded", sharded.Query, 160},
+		{"dynamic", dyn.Query, 60},
+	}
+	for _, l := range layouts {
+		for _, q := range queries {
+			if _, err := l.query(q); err != nil { // warm pools across all shards
+				t.Fatal(err)
+			}
+			got := testing.AllocsPerRun(50, func() {
+				if _, err := l.query(q); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("%s %s: %.1f allocs/op", l.name, q, got)
+			if got > l.max {
+				t.Errorf("%s %s: %.1f allocs/op, want <= %.0f", l.name, q, got, l.max)
+			}
+		}
+	}
+}
+
+// TestQueryAllocsNoCorpusScaling pins the core guarantee: per-op allocation
+// count is independent of corpus size. An accidental per-candidate map or
+// per-sequence O(corpus) stamp array fails this immediately.
+func TestQueryAllocsNoCorpusScaling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool reuse; allocation counts are asserted in non-race runs")
+	}
+	measure := func(n int) float64 {
+		ix, err := Build(allocDocs(t, n), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const q = "//n2"
+		if _, err := ix.Query(q); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(50, func() {
+			if _, err := ix.Query(q); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, big := measure(100), measure(800)
+	t.Logf("100 docs: %.1f allocs/op; 800 docs: %.1f allocs/op", small, big)
+	if big > small*1.5+8 {
+		t.Errorf("allocs scale with corpus: %.1f (100 docs) -> %.1f (800 docs)", small, big)
+	}
+}
+
+// TestScratchPoolHammerLayouts races concurrent queries through all three
+// layouts at once — they share the process-wide kernel scratch pool — and
+// checks every answer against the sequential one. Run with -race.
+func TestScratchPoolHammerLayouts(t *testing.T) {
+	docs := allocDocs(t, 150)
+	mono, err := Build(docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Build(docs, Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := BuildDynamic(docs, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryFns := []queryFn{mono.Query, sharded.Query, dyn.Query}
+	queries := []string{"/n0", "/n0/n1", "//n2", "/n0/*"}
+
+	want := make([][]int32, len(queries))
+	for i, q := range queries {
+		ids, err := mono.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ids
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 40; k++ {
+				qi := (g + k) % len(queries)
+				fn := queryFns[(g+k)%len(queryFns)]
+				got, err := fn(queries[qi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != len(want[qi]) {
+					t.Errorf("goroutine %d: query %q diverged", g, queries[qi])
+					return
+				}
+				for i := range got {
+					if got[i] != want[qi][i] {
+						t.Errorf("goroutine %d: query %q diverged", g, queries[qi])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -225,3 +225,48 @@ func BenchmarkFacadeEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// --- allocation benchmarks -------------------------------------------------
+//
+// One benchmark per engine layout over the same corpus and query, with
+// ReportAllocs, so `go test -bench BenchmarkQueryAllocs -benchmem` shows the
+// steady-state allocation profile side by side; CI runs them as a smoke
+// step. The regression *assertions* live in alloc_test.go (AllocsPerRun).
+
+func benchQueryAllocs(b *testing.B, q string, query func(string) ([]int32, error)) {
+	b.Helper()
+	if _, err := query(q); err != nil { // warm the scratch pools
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryAllocsMono(b *testing.B) {
+	ix, err := Build(allocDocs(b, 200), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchQueryAllocs(b, "//n2", ix.Query)
+}
+
+func BenchmarkQueryAllocsSharded(b *testing.B) {
+	ix, err := Build(allocDocs(b, 200), Config{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchQueryAllocs(b, "//n2", ix.Query)
+}
+
+func BenchmarkQueryAllocsDynamic(b *testing.B) {
+	ix, err := BuildDynamic(allocDocs(b, 200), Config{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchQueryAllocs(b, "//n2", ix.Query)
+}

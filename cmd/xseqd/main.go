@@ -23,7 +23,9 @@
 //	kill -HUP $(pidof xseqd)    # pick up a rewritten snapshot
 //
 // The -chaos-* flags arm per-route fault injection on /query (latency,
-// errors, panics) for resilience drills; all default to off.
+// errors, panics) for resilience drills; all default to off. -pprof serves
+// net/http/pprof on a separate private listener (off by default) so heap
+// and CPU profiles are reachable without exposing them on the query port.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,6 +58,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "require the snapshot (and every reload) to have exactly this many shards (0 = accept any layout)")
 		workers  = flag.Int("workers", 0, "cap OS threads executing Go code, the parallelism of sharded query fan-out (0 = GOMAXPROCS default)")
 		qcache   = flag.Int("query-cache", 0, "cache up to this many query results per snapshot, invalidated on reload (0 = no cache); hit rates in /stats")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it private — off by default")
 
 		chaosLatency      = flag.Duration("chaos-latency", 0, "chaos: latency injected into /query when -chaos-latency-every fires")
 		chaosLatencyEvery = flag.Int("chaos-latency-every", 0, "chaos: inject latency into every nth /query (0 = off)")
@@ -107,6 +111,27 @@ func main() {
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// -pprof serves the profiling endpoints on their own listener with an
+	// explicit mux: nothing is registered on http.DefaultServeMux and the
+	// query listener never exposes /debug/pprof. The address should stay
+	// private (localhost or an internal interface); a profiler failure is
+	// fatal so a typo'd address is caught at startup, not at incident time.
+	if *pprofOn != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("xseqd: pprof on http://%s/debug/pprof/", *pprofOn)
+			if err := http.ListenAndServe(*pprofOn, mux); err != nil {
+				log.Printf("xseqd: pprof listener failed: %v", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	// SIGHUP: hot snapshot reload, forever.
 	hup := make(chan os.Signal, 1)

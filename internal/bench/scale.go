@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 	"time"
 
 	"xseq/internal/datagen"
@@ -13,6 +13,7 @@ import (
 	"xseq/internal/index"
 	"xseq/internal/pathenc"
 	"xseq/internal/qcache"
+	"xseq/internal/query"
 	"xseq/internal/schema"
 	"xseq/internal/sequence"
 	"xseq/internal/shard"
@@ -62,6 +63,15 @@ type ScaleResult struct {
 	Matches           int     `json:"matches"`
 	IndexNodes        int     `json:"index_nodes"`
 	Equivalent        bool    `json:"equivalent"`
+
+	// Steady-state allocation profile of the query path (warm index, the
+	// same sampled patterns as the latency pass): heap allocations and bytes
+	// per query, monolithic and sharded. The perf trajectory across PRs is
+	// recorded in BENCH_*.json snapshots.
+	MonoAllocsPerOp float64 `json:"mono_allocs_per_op"`
+	MonoBytesPerOp  float64 `json:"mono_bytes_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
 
 	// Repeated-pattern workload through the qcache layer vs straight at the
 	// sharded index: same patterns, same order, so the latency gap is the
@@ -201,9 +211,18 @@ func ShardScale(cfg ScaleConfig) (*ScaleResult, error) {
 			res.Equivalent = false
 		}
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	slices.Sort(lats)
 	res.QueryP50NS = percentileNS(lats, 50)
 	res.QueryP95NS = percentileNS(lats, 95)
+
+	res.MonoAllocsPerOp, res.MonoBytesPerOp, err = measureQueryAllocs(ctx, mono, pats)
+	if err != nil {
+		return nil, fmt.Errorf("monolithic alloc profile: %w", err)
+	}
+	res.AllocsPerOp, res.BytesPerOp, err = measureQueryAllocs(ctx, sh, pats)
+	if err != nil {
+		return nil, fmt.Errorf("sharded alloc profile: %w", err)
+	}
 
 	// Cached-vs-uncached pass: a small set of patterns repeated over
 	// several rounds, the workload shape a result cache exists for. Every
@@ -244,8 +263,8 @@ func ShardScale(cfg ScaleConfig) (*ScaleResult, error) {
 			}
 		}
 	}
-	sort.Slice(uLats, func(i, j int) bool { return uLats[i] < uLats[j] })
-	sort.Slice(cLats, func(i, j int) bool { return cLats[i] < cLats[j] })
+	slices.Sort(uLats)
+	slices.Sort(cLats)
 	res.UncachedQueryP50NS = percentileNS(uLats, 50)
 	res.UncachedQueryP95NS = percentileNS(uLats, 95)
 	res.CachedQueryP50NS = percentileNS(cLats, 50)
@@ -254,6 +273,38 @@ func ShardScale(cfg ScaleConfig) (*ScaleResult, error) {
 	res.CacheHits = cs.Hits
 	res.CacheMisses = cs.Misses
 	return res, nil
+}
+
+// measureQueryAllocs reports the steady-state allocation cost (heap
+// allocations per query, bytes per query) of answering pats against a warm
+// engine. One untimed pass warms every pooled scratch and internal cache,
+// then several measured passes read the global allocation counters around
+// the queries — counting fan-out goroutines too, which is the point: the
+// number is the whole query path's footprint, not one goroutine's.
+func measureQueryAllocs(ctx context.Context, eng engine.Engine, pats []*query.Pattern) (allocsPerOp, bytesPerOp float64, err error) {
+	run := func() error {
+		for _, p := range pats {
+			if _, err := eng.QueryWithContext(ctx, p, engine.QueryOptions{}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := run(); err != nil {
+		return 0, 0, err
+	}
+	const rounds = 5
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for r := 0; r < rounds; r++ {
+		if err := run(); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	ops := float64(rounds * len(pats))
+	return float64(after.Mallocs-before.Mallocs) / ops, float64(after.TotalAlloc-before.TotalAlloc) / ops, nil
 }
 
 func equalIDs(a, b []int32) bool {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -197,7 +196,10 @@ func (d *Dynamic) QueryWithContext(ctx context.Context, pat *query.Pattern, qo Q
 	main, delta := d.main, d.delta
 	d.mu.Unlock()
 
-	var out []int32
+	var (
+		lists    [2][]int32
+		n, found int
+	)
 	for _, sub := range []Engine{main, delta} {
 		if sub == nil {
 			continue
@@ -208,7 +210,7 @@ func (d *Dynamic) QueryWithContext(ctx context.Context, pat *query.Pattern, qo Q
 			sqo.Stats = &st
 		}
 		if qo.MaxResults > 0 {
-			remaining := qo.MaxResults - len(out)
+			remaining := qo.MaxResults - found
 			if remaining <= 0 {
 				break
 			}
@@ -218,14 +220,24 @@ func (d *Dynamic) QueryWithContext(ctx context.Context, pat *query.Pattern, qo Q
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ids...)
+		lists[n] = ids
+		n++
+		found += len(ids)
 		if qo.Stats != nil {
 			qo.Stats.Add(st)
 		}
 	}
 	// Main and delta ids are disjoint (duplicate ids are rejected at
-	// insert), so the merge is a plain sort with no deduplication.
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// insert) and each side is already ascending, so the merge is a two-way
+	// merge with no deduplication. Sub-engine results are caller-owned
+	// fresh slices, so a single-list merge may return it directly.
+	var out []int32
+	switch {
+	case n == 1:
+		out = lists[0]
+	case n == 2:
+		out = MergeAscending(lists[:], make([]int32, 0, found), 0)
+	}
 	if qo.Stats != nil {
 		qo.Stats.Results = len(out)
 	}

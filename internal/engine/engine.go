@@ -107,9 +107,18 @@ type ShardStat struct {
 // Engines must be safe for concurrent queries. Query results are matching
 // document ids in ascending order, identical across layouts over the same
 // corpus (the query-equivalence invariant the whole design rests on).
+//
+// Result ownership: the slice QueryWithContext returns is freshly
+// allocated and owned by the caller — it never aliases an engine's pooled
+// query scratch or any other internal buffer, and the engine never touches
+// it again. This is what lets the match kernels recycle their working
+// memory through sync.Pools while a cache layer above (qcache) retains
+// results across queries: a cached entry can only ever hold caller-owned
+// memory, so a later query reusing the pool cannot corrupt it.
 type Engine interface {
 	// QueryWithContext answers a tree-pattern query under ctx with
-	// per-query options; cancellation aborts the match loops promptly.
+	// per-query options; cancellation aborts the match loops promptly. The
+	// returned slice is caller-owned; see the ownership rule above.
 	QueryWithContext(ctx context.Context, pat *query.Pattern, qo QueryOptions) ([]int32, error)
 
 	// NumDocuments reports the corpus size.

@@ -1,0 +1,57 @@
+package engine
+
+// MergeAscending merges ascending, mutually disjoint document-id lists into
+// out (appending), preserving ascending order — the merge rule for engines
+// that span several sub-engines: shard fan-out results and base+delta pairs
+// are disjoint by construction (a document lives in exactly one partition),
+// so the merge needs no deduplication and replaces the concat+sort the
+// fan-out paths used to do. limit > 0 stops after limit ids (the smallest
+// limit ids of the union, since the merge emits in ascending order);
+// limit <= 0 merges everything.
+//
+// The head scan is linear in the list count: shard counts are small (one
+// per core, typically), so a heap's bookkeeping costs more than it saves.
+//
+// MergeAscending consumes lists as cursor state: the elements of the slice
+// are reordered and resliced. Pass a scratch copy if the caller still needs
+// them.
+func MergeAscending(lists [][]int32, out []int32, limit int) []int32 {
+	// Compact away exhausted lists once up front so the per-element scan
+	// only visits live ones.
+	live := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			lists[live] = l
+			live++
+		}
+	}
+	lists = lists[:live]
+	for len(lists) > 1 {
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+		min := 0
+		for k := 1; k < len(lists); k++ {
+			if lists[k][0] < lists[min][0] {
+				min = k
+			}
+		}
+		out = append(out, lists[min][0])
+		if lists[min] = lists[min][1:]; len(lists[min]) == 0 {
+			lists[min] = lists[len(lists)-1]
+			lists = lists[:len(lists)-1]
+		}
+	}
+	if len(lists) == 1 {
+		rest := lists[0]
+		if limit > 0 {
+			if room := limit - len(out); room <= 0 {
+				return out
+			} else if room < len(rest) {
+				rest = rest[:room]
+			}
+		}
+		out = append(out, rest...)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// mergeReference is the concat+sort the k-way merge replaced.
+func mergeReference(lists [][]int32, limit int) []int32 {
+	var all []int32
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	slices.Sort(all)
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all
+}
+
+// cloneLists deep-copies lists (MergeAscending consumes its argument).
+func cloneLists(lists [][]int32) [][]int32 {
+	cp := make([][]int32, len(lists))
+	for i, l := range lists {
+		cp[i] = slices.Clone(l)
+	}
+	return cp
+}
+
+func TestMergeAscendingEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		lists [][]int32
+		limit int
+		want  []int32
+	}{
+		{"no lists", nil, 0, nil},
+		{"all empty", [][]int32{{}, nil, {}}, 0, nil},
+		{"single list", [][]int32{{1, 5, 9}}, 0, []int32{1, 5, 9}},
+		{"single list limited", [][]int32{{1, 5, 9}}, 2, []int32{1, 5}},
+		{"two interleaved", [][]int32{{1, 4, 7}, {2, 3, 9}}, 0, []int32{1, 2, 3, 4, 7, 9}},
+		{"uneven lengths", [][]int32{{10}, {1, 2, 3, 4, 5}, {6, 7}}, 0, []int32{1, 2, 3, 4, 5, 6, 7, 10}},
+		{"with empties mixed in", [][]int32{{}, {3}, nil, {1, 2}}, 0, []int32{1, 2, 3}},
+		{"limit mid-merge", [][]int32{{1, 4}, {2, 5}, {3, 6}}, 4, []int32{1, 2, 3, 4}},
+		{"limit zero means all", [][]int32{{2}, {1}}, 0, []int32{1, 2}},
+		{"limit exceeds total", [][]int32{{1}, {2}}, 99, []int32{1, 2}},
+	}
+	for _, c := range cases {
+		got := MergeAscending(cloneLists(c.lists), nil, c.limit)
+		if !slices.Equal(got, c.want) {
+			t.Errorf("%s: got %v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMergeAscendingRandom checks the merge against concat+sort over random
+// disjoint ascending lists — the exact shape shard fan-out produces (each
+// document id lives in exactly one partition).
+func TestMergeAscendingRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		nLists := rng.Intn(6) // 0..5 partitions
+		lists := make([][]int32, nLists)
+		// Partition a random id universe, hash-style, so lists are
+		// disjoint; each stays ascending by construction.
+		if nLists > 0 {
+			for id := int32(0); id < int32(rng.Intn(200)); id++ {
+				if rng.Intn(3) == 0 {
+					continue // id matches nowhere
+				}
+				k := int(id) % nLists
+				lists[k] = append(lists[k], id)
+			}
+		}
+		limit := 0
+		if rng.Intn(2) == 0 {
+			limit = rng.Intn(40)
+		}
+		want := mergeReference(lists, limit)
+		got := MergeAscending(cloneLists(lists), nil, limit)
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d (limit %d): got %v want %v", trial, limit, got, want)
+		}
+	}
+}
+
+// TestMergeAscendingAppendsToOut verifies the out parameter is appended to,
+// not clobbered — callers pass pre-sized scratch.
+func TestMergeAscendingAppendsToOut(t *testing.T) {
+	out := make([]int32, 0, 8)
+	got := MergeAscending([][]int32{{2, 4}, {1, 3}}, out, 0)
+	if !slices.Equal(got, []int32{1, 2, 3, 4}) {
+		t.Fatalf("got %v", got)
+	}
+	if &got[0] != &out[:1][0] {
+		t.Fatalf("merge reallocated despite sufficient capacity")
+	}
+}

@@ -20,6 +20,7 @@ package index
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"xseq/internal/engine"
@@ -214,7 +215,7 @@ func (ix *Index) freeze() {
 		}
 		return true
 	})
-	sort.Slice(ends, func(i, j int) bool { return ends[i].pre < ends[j].pre })
+	slices.SortFunc(ends, func(a, b endNode) int { return int(a.pre) - int(b.pre) })
 	ix.ends.pres = make([]int32, len(ends))
 	ix.ends.offs = make([]int32, len(ends))
 	ix.ends.lens = make([]int32, len(ends))
@@ -373,10 +374,10 @@ func (ix *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo Qu
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	insts := pat.Instantiate(ix.enc, ix.ci, ix.opts.InstantiationLimit)
-	res := newResultSet(ix.maxDocID, qo.MaxResults)
-	res.stats = qo.Stats
-	res.ctx = ctx
+	scr := getScratch(ix.maxDocID)
+	defer putScratch(scr)
+	insts := pat.InstantiateScratch(ix.enc, ix.ci, ix.opts.InstantiationLimit, &scr.inst)
+	res := resultSet{scr: scr, ids: scr.ids[:0], limit: qo.MaxResults, stats: qo.Stats, ctx: ctx}
 	enumLimit := ix.opts.OrderEnumerationLimit
 	if enumLimit <= 0 {
 		enumLimit = DefaultOrderEnumerationLimit
@@ -399,13 +400,13 @@ func (ix *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo Qu
 			if res.full() {
 				break
 			}
-			ix.search(q, qo.Naive, res)
+			ix.search(q, qo.Naive, &res)
 		}
 	}
 	if res.err != nil {
 		return nil, res.err
 	}
-	out := res.sorted()
+	out := res.take()
 	if qo.Stats != nil {
 		qo.Stats.Results = len(out)
 	}
@@ -444,10 +445,13 @@ func (ix *Index) verifyCandidates(ctx context.Context, pat *query.Pattern, cand 
 // the poll is invisible in query profiles.
 const cancelCheckStride = 256
 
-// resultSet deduplicates doc ids with a stamp array; an optional cap stops
-// the search early (MaxResults), and a context aborts it (cancelled).
+// resultSet deduplicates doc ids against the scratch's epoch-stamped array;
+// an optional cap stops the search early (MaxResults), and a context aborts
+// it (cancelled). ids borrows the scratch's accumulation buffer — take
+// copies the final answer out and hands the grown buffer back, so nothing
+// pooled escapes into the return value.
 type resultSet struct {
-	stamp []bool
+	scr   *queryScratch
 	ids   []int32
 	limit int // 0: unlimited
 	stats *QueryStats
@@ -455,10 +459,6 @@ type resultSet struct {
 	ctx       context.Context // nil: never cancelled
 	err       error           // ctx error once observed
 	countdown int             // candidates until the next ctx poll
-}
-
-func newResultSet(maxID int32, limit int) *resultSet {
-	return &resultSet{stamp: make([]bool, maxID+1), limit: limit}
 }
 
 // cancelled polls the context every cancelCheckStride calls; once the
@@ -488,18 +488,28 @@ func (r *resultSet) full() bool {
 }
 
 func (r *resultSet) addAll(ids []int32) {
+	stamp, epoch := r.scr.stamp, r.scr.epoch
 	for _, id := range ids {
 		if r.full() {
 			return
 		}
-		if !r.stamp[id] {
-			r.stamp[id] = true
+		if stamp[id] != epoch {
+			stamp[id] = epoch
 			r.ids = append(r.ids, id)
 		}
 	}
 }
 
-func (r *resultSet) sorted() []int32 {
-	sort.Slice(r.ids, func(i, j int) bool { return r.ids[i] < r.ids[j] })
-	return r.ids
+// take sorts the accumulated ids, copies them into a fresh caller-owned
+// slice, and returns the accumulation buffer to the scratch for reuse. A
+// query with no matches returns nil, as before.
+func (r *resultSet) take() []int32 {
+	slices.Sort(r.ids)
+	var out []int32
+	if len(r.ids) > 0 {
+		out = make([]int32, len(r.ids))
+		copy(out, r.ids)
+	}
+	r.scr.ids = r.ids[:0]
+	return out
 }

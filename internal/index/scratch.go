@@ -1,0 +1,61 @@
+// Zero-allocation query kernel support: one pooled scratch object carries
+// every transient buffer Algorithm 1 needs — the sibling-cover ins stack,
+// the epoch-stamped doc-id dedup array, the terminal-range doc-id
+// collection buffer, the result accumulation buffer, and the wildcard
+// instantiation scratch — so a steady-state query on a warm index performs
+// a small fixed number of allocations regardless of corpus size or
+// candidate count.
+//
+// The dedup array is epoch-stamped instead of cleared: stamp[id] == epoch
+// means "id already in this query's result". Opening a new query bumps the
+// epoch, which invalidates every stamp in O(1); the array is only zeroed
+// when the uint32 epoch wraps (once per ~4 billion queries through a given
+// scratch). This replaces the make([]bool, maxDocID+1) the result set used
+// to allocate per query — O(corpus) memory traffic on every operation.
+//
+// Ownership rule (the engine/qcache boundary contract): everything inside a
+// scratch is borrowed and returns to the pool when the query finishes, so
+// no pooled buffer may escape into a query's return value. The result set
+// copies its ids into a fresh slice before the scratch is released; see
+// resultSet.take.
+package index
+
+import (
+	"sync"
+
+	"xseq/internal/query"
+)
+
+// queryScratch is the reusable per-query working set; zero value ready.
+type queryScratch struct {
+	ins    []insEntry    // sibling-cover stack (search.go)
+	stamp  []uint32      // doc-id dedup: stamp[id] == epoch means seen
+	epoch  uint32        // current dedup epoch
+	docBuf []int32       // collectDocs buffer for terminal ranges
+	ids    []int32       // result accumulation buffer
+	inst   query.Scratch // wildcard-instantiation buffers
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+// getScratch fetches a scratch whose stamp array covers doc ids in
+// [0, maxID] and opens a fresh dedup epoch.
+func getScratch(maxID int32) *queryScratch {
+	s := scratchPool.Get().(*queryScratch)
+	if n := int(maxID) + 1; len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: every stale stamp is ambiguous, clear once
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	return s
+}
+
+// putScratch returns s to the pool. Buffer capacities are kept (that is the
+// point); lengths are irrelevant because every user reslices to [:0].
+func putScratch(s *queryScratch) {
+	scratchPool.Put(s)
+}

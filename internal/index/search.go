@@ -50,13 +50,16 @@ func insHasPath(ins []insEntry, p pathenc.PathID) bool {
 }
 
 // search runs one query sequence through the index, accumulating document
-// ids of every terminal range into res.
+// ids of every terminal range into res. All transient state — the ins
+// stack and the terminal doc-id buffer — lives in the pooled scratch, so
+// the steady-state inner loop allocates nothing.
 func (ix *Index) search(q sequence.Sequence, naive bool, res *resultSet) {
 	if len(q) == 0 {
 		return
 	}
 	stats := res.stats
-	var ins []insEntry
+	scr := res.scr
+	ins := scr.ins[:0]
 	var rec func(i int, lo, hi int32)
 	rec = func(i int, lo, hi int32) {
 		p := q[i]
@@ -82,7 +85,8 @@ func (ix *Index) search(q sequence.Sequence, naive bool, res *resultSet) {
 			if i == len(q)-1 {
 				// "output the document id lists of node v and all nodes
 				// under v".
-				res.addAll(ix.collectDocs(e.pre, e.max, nil))
+				scr.docBuf = ix.collectDocs(e.pre, e.max, scr.docBuf[:0])
+				res.addAll(scr.docBuf)
 				continue
 			}
 			saved := len(ins)
@@ -99,6 +103,7 @@ func (ix *Index) search(q sequence.Sequence, naive bool, res *resultSet) {
 		}
 	}
 	rec(0, 1, ix.maxSerial)
+	scr.ins = ins[:0] // hand the (possibly grown) stack back for reuse
 }
 
 // searchLink binary searches link for the first entry with pre >= lo,
@@ -121,17 +126,23 @@ func (ix *Index) searchLink(p pathenc.PathID, link []linkEntry, lo int32, stats 
 // candidate's forward prefix would resolve there and the match would not be
 // a constraint match.
 func (ix *Index) siblingCovered(p pathenc.PathID, e linkEntry, ins []insEntry, stats *QueryStats) bool {
-	if len(ins) == 0 {
-		return false
-	}
-	seen := map[pathenc.PathID]bool{}
-	// Later entries shadow earlier ones per path (most recent wins).
 	for k := len(ins) - 1; k >= 0; k-- {
 		x := ins[k]
-		if seen[x.path] {
+		// Later entries shadow earlier ones per path (most recent wins):
+		// a reverse scan over the entries already visited replaces the
+		// per-candidate seen-map — ins is a small stack (bounded by query
+		// depth), so the quadratic shadow check is cheaper than one map
+		// allocation, let alone one per candidate.
+		shadowed := false
+		for j := k + 1; j < len(ins); j++ {
+			if ins[j].path == x.path {
+				shadowed = true
+				break
+			}
+		}
+		if shadowed {
 			continue
 		}
-		seen[x.path] = true
 		if !ix.enc.IsStrictPrefix(x.path, p) {
 			continue
 		}

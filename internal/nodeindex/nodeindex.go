@@ -11,6 +11,7 @@ package nodeindex
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"xseq/internal/query"
@@ -129,7 +130,7 @@ func (ix *Index) Query(pat *query.Pattern) ([]int32, error) {
 			out = append(out, w.Doc)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }
 

@@ -10,6 +10,7 @@ package pathindex
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -57,7 +58,7 @@ func Build(docs []*xmltree.Document) (*Index, error) {
 	}
 	for p := range ix.postings {
 		ids := ix.postings[p]
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 		ix.postings[p] = ids
 		ix.allPaths = append(ix.allPaths, p)
 	}
@@ -271,7 +272,7 @@ func dedupSorted(s []int32) []int32 {
 	if len(s) == 0 {
 		return nil
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	out := s[:1]
 	for _, x := range s[1:] {
 		if x != out[len(out)-1] {

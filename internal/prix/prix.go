@@ -16,6 +16,7 @@ package prix
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"xseq/internal/query"
@@ -153,7 +154,7 @@ func (ix *Index) Query(pat *query.Pattern) ([]int32, error) {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }
 

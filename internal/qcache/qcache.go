@@ -173,7 +173,12 @@ func (c *Cache) lookup(key string, gen uint64) ([]int32, bool) {
 }
 
 // store inserts (or replaces) the entry under key, evicting the
-// least-recently-used entry when over capacity.
+// least-recently-used entry when over capacity. The entry keeps a private
+// copy: the inner engine's result is caller-owned (per the Engine
+// ownership contract it is never pooled memory, so copying here is about
+// isolating the cache from caller mutation, not about escaping pools) and
+// QueryWithContext returns the original slice to the caller, who is free
+// to mutate it without disturbing the cached entry.
 func (c *Cache) store(key string, gen uint64, ids []int32) {
 	cp := append([]int32(nil), ids...)
 	c.mu.Lock()

@@ -347,15 +347,6 @@ type Instance struct {
 	Parent []int
 }
 
-// Key returns a dedup key.
-func (in Instance) Key() string {
-	var b strings.Builder
-	for i := range in.Paths {
-		fmt.Fprintf(&b, "%d:%d,", in.Paths[i], in.Parent[i])
-	}
-	return b.String()
-}
-
 // DefaultInstantiationLimit caps the number of concrete instances per
 // pattern; wildcard-heavy queries over rich schemas can otherwise explode.
 const DefaultInstantiationLimit = 4096
@@ -364,48 +355,11 @@ const DefaultInstantiationLimit = 4096
 // the interned path table, returning concrete instances. A value leaf
 // resolves through the encoder's value hash. Instances whose required paths
 // are absent from the table are pruned (they can match no document). A
-// limit <= 0 uses DefaultInstantiationLimit.
+// limit <= 0 uses DefaultInstantiationLimit. Steady-state callers use
+// InstantiateScratch instead, which reuses the working buffers.
 func (p *Pattern) Instantiate(enc *pathenc.Encoder, ci *pathenc.ChildIndex, limit int) []Instance {
-	if limit <= 0 {
-		limit = DefaultInstantiationLimit
-	}
-	if p == nil || p.Root == nil {
-		return nil
-	}
-	// Anchor candidates for the root.
-	var anchors []pathenc.PathID
-	switch p.Root.Axis {
-	case AxisChild:
-		for _, c := range ci.Children(pathenc.EmptyPath) {
-			if stepMatchesPath(enc, p.Root, c) {
-				anchors = append(anchors, c)
-			}
-		}
-	case AxisDescendant:
-		for _, c := range ci.Descendants(pathenc.EmptyPath) {
-			if stepMatchesPath(enc, p.Root, c) {
-				anchors = append(anchors, c)
-			}
-		}
-	}
-	var out []Instance
-	seen := map[string]bool{}
-	for _, a := range anchors {
-		insts := instantiateChildren(enc, ci, p.Root, a, limit-len(out))
-		for _, chTrees := range insts {
-			inst := Instance{Paths: []pathenc.PathID{a}, Parent: []int{-1}}
-			appendInstance(&inst, chTrees, 0)
-			k := inst.Key()
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, inst)
-			}
-			if len(out) >= limit {
-				return out
-			}
-		}
-	}
-	return out
+	var scr Scratch
+	return p.InstantiateScratch(enc, ci, limit, &scr)
 }
 
 // instTree is a concrete subtree: node path plus child subtrees.

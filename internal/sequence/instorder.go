@@ -57,14 +57,20 @@ func buildInstNodes(paths []pathenc.PathID, parents []int) []instNode {
 			nodes[par].children = append(nodes[par].children, i)
 		}
 	}
+	// Mark identical-path sibling groups with a pairwise scan — sibling
+	// lists are query-sized, so the quadratic scan beats allocating a
+	// counting map per node (this runs on every query sequence).
 	for i := range nodes {
-		count := map[pathenc.PathID]int{}
-		for _, c := range nodes[i].children {
-			count[nodes[c].path]++
-		}
-		for _, c := range nodes[i].children {
-			if count[nodes[c].path] > 1 {
-				nodes[c].identical = true
+		ch := nodes[i].children
+		for a := 0; a < len(ch); a++ {
+			if nodes[ch[a]].identical {
+				continue // already matched an earlier sibling
+			}
+			for b := a + 1; b < len(ch); b++ {
+				if nodes[ch[a]].path == nodes[ch[b]].path {
+					nodes[ch[a]].identical = true
+					nodes[ch[b]].identical = true
+				}
 			}
 		}
 	}

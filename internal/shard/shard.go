@@ -25,7 +25,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -288,39 +287,90 @@ func (s *Index) QueryContext(ctx context.Context, pat *query.Pattern) ([]int32, 
 	return s.QueryWithContext(ctx, pat, index.QueryOptions{})
 }
 
-// QueryWithContext is QueryContext with per-query options. Shard results
-// are disjoint (each document lives in exactly one shard), so the merge is
-// a sort with no deduplication. With MaxResults set, a shard reporting
-// results counts them against the global budget and the fan-out cancels the
-// remaining shards as soon as the budget is met; the merged result is then
-// truncated to the MaxResults smallest ids among the hits found. Stats are
-// accumulated per shard and summed.
-func (s *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo index.QueryOptions) ([]int32, error) {
-	live := make([]int, 0, len(s.shards))
-	for i, sh := range s.shards {
-		if sh != nil {
-			live = append(live, i)
+// shardResult is one shard's slice of a fan-out's outcome.
+type shardResult struct {
+	ids []int32
+	err error
+}
+
+// fanoutScratch is the reusable working set of one query fan-out: the live
+// shard list, per-shard result and stats slots, and the merge cursor array.
+// Pooled across queries so the steady-state fan-out only allocates the
+// per-shard goroutines and the merged output slice. Everything here is
+// borrowed: the merged result is always a fresh slice, so nothing pooled
+// escapes to the caller (or into a result cache above).
+type fanoutScratch struct {
+	live    []int
+	results []shardResult
+	stats   []index.QueryStats
+	lists   [][]int32
+}
+
+var fanoutPool = sync.Pool{New: func() any { return new(fanoutScratch) }}
+
+// getFanoutScratch fetches a scratch with zeroed slots for n shards.
+func getFanoutScratch(n int) *fanoutScratch {
+	f := fanoutPool.Get().(*fanoutScratch)
+	f.live = f.live[:0]
+	f.lists = f.lists[:0]
+	if cap(f.results) < n {
+		f.results = make([]shardResult, n)
+		f.stats = make([]index.QueryStats, n)
+	} else {
+		f.results = f.results[:n]
+		f.stats = f.stats[:n]
+		for i := range f.results {
+			f.results[i] = shardResult{}
+			f.stats[i] = index.QueryStats{}
 		}
 	}
-	if len(live) == 0 {
+	return f
+}
+
+// putFanoutScratch drops the id-slice references (so the pool does not pin
+// per-shard results until the next query) and returns f to the pool.
+func putFanoutScratch(f *fanoutScratch) {
+	for i := range f.results {
+		f.results[i].ids = nil
+	}
+	for i := range f.lists {
+		f.lists[i] = nil
+	}
+	fanoutPool.Put(f)
+}
+
+// QueryWithContext is QueryContext with per-query options. Shard results
+// are disjoint (each document lives in exactly one shard) and each shard
+// returns its ids in ascending order, so the merge is a k-way merge of
+// sorted lists with no deduplication — identical output, in the same
+// ascending order, as the monolithic index. With MaxResults set, a shard
+// reporting results counts them against the global budget and the fan-out
+// cancels the remaining shards as soon as the budget is met; the k-way
+// merge then stops at the MaxResults smallest ids among the hits found.
+// Stats are accumulated per shard and summed.
+func (s *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo index.QueryOptions) ([]int32, error) {
+	fs := getFanoutScratch(len(s.shards))
+	defer putFanoutScratch(fs)
+	for i, sh := range s.shards {
+		if sh != nil {
+			fs.live = append(fs.live, i)
+		}
+	}
+	if len(fs.live) == 0 {
 		return nil, nil
 	}
-	if len(live) == 1 {
-		return s.shards[live[0]].QueryWithContext(ctx, pat, qo)
+	if len(fs.live) == 1 {
+		return s.shards[fs.live[0]].QueryWithContext(ctx, pat, qo)
 	}
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	type shardResult struct {
-		ids []int32
-		err error
-	}
 	var (
-		results = make([]shardResult, len(s.shards))
-		stats   = make([]index.QueryStats, len(s.shards))
+		results = fs.results
+		stats   = fs.stats
 		found   atomic.Int64
 		wg      sync.WaitGroup
 	)
-	for _, i := range live {
+	for _, i := range fs.live {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -355,7 +405,7 @@ func (s *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo ind
 	// A real shard failure outranks the context.Canceled its cancellation
 	// induced in sibling shards; report it whichever shard finished first.
 	var cancelErr error
-	for _, i := range live {
+	for _, i := range fs.live {
 		if err := results[i].err; err != nil {
 			if errors.Is(err, context.Canceled) {
 				cancelErr = err
@@ -367,24 +417,23 @@ func (s *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo ind
 	if cancelErr != nil && !enough {
 		return nil, cancelErr
 	}
-	var out []int32
-	for _, i := range live {
-		if r := results[i]; r.err == nil {
-			out = append(out, r.ids...)
+	total := 0
+	for _, i := range fs.live {
+		if r := results[i]; r.err == nil && len(r.ids) > 0 {
+			fs.lists = append(fs.lists, r.ids)
+			total += len(r.ids)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	if qo.MaxResults > 0 && len(out) > qo.MaxResults {
-		out = out[:qo.MaxResults]
+	if qo.MaxResults > 0 && total > qo.MaxResults {
+		total = qo.MaxResults
+	}
+	var out []int32
+	if total > 0 {
+		out = engine.MergeAscending(fs.lists, make([]int32, 0, total), qo.MaxResults)
 	}
 	if qo.Stats != nil {
 		for i := range stats {
-			qo.Stats.Instances += stats[i].Instances
-			qo.Stats.Orders += stats[i].Orders
-			qo.Stats.LinkProbes += stats[i].LinkProbes
-			qo.Stats.EntriesScanned += stats[i].EntriesScanned
-			qo.Stats.CoverChecks += stats[i].CoverChecks
-			qo.Stats.CoverRejections += stats[i].CoverRejections
+			qo.Stats.Add(stats[i])
 		}
 		qo.Stats.Results = len(out)
 	}

@@ -13,7 +13,7 @@ package vist
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"xseq/internal/index"
 	"xseq/internal/pathenc"
@@ -106,7 +106,7 @@ func (v *Index) Query(pat *query.Pattern) ([]int32, error) {
 	for id := range candSet {
 		cand = append(cand, id)
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	slices.Sort(cand)
 	v.lastStats.Candidates = len(cand)
 
 	// False-alarm elimination: verify every candidate document.
@@ -154,7 +154,7 @@ func (v *Index) docsFor(inst query.Instance, children [][]int, node int, lo, hi 
 	for id := range union {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -196,7 +196,7 @@ func dedupSorted(s []int32) []int32 {
 	if len(s) == 0 {
 		return s
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	out := s[:1]
 	for _, x := range s[1:] {
 		if x != out[len(out)-1] {
