@@ -1,26 +1,47 @@
-// Command xseqd serves XPath-subset queries over a saved xseq index
-// snapshot, hardened for production traffic: admission control sheds
-// overload with 429 + Retry-After instead of queueing without bound, every
-// query runs under a deadline wired into the index's cancellable match
-// loops, SIGHUP (or -watch mtime polling) hot-reloads the snapshot with an
-// atomic swap — a corrupt replacement leaves the old snapshot serving and
-// flips /healthz to "degraded" — and SIGINT/SIGTERM drains gracefully:
-// stop admitting, finish in-flight queries, cancel stragglers after the
-// -drain budget.
+// Command xseqd serves XPath-subset queries, hardened for production
+// traffic: admission control sheds overload with 429 + Retry-After instead
+// of queueing without bound, every query runs under a deadline wired into
+// the index's cancellable match loops, and SIGINT/SIGTERM drains
+// gracefully: stop admitting, finish in-flight queries, cancel stragglers
+// after the -drain budget.
+//
+// It runs in one of three modes:
+//
+//   - Static (-index): serve a saved snapshot. SIGHUP (or -watch mtime
+//     polling) hot-reloads it with an atomic swap — a corrupt replacement
+//     leaves the old snapshot serving and flips /healthz to "degraded".
+//   - Primary (-wal): a dynamic index over a crash-safe write-ahead log.
+//     POST /insert acknowledges only after the entry is fsynced; on
+//     restart the log replays, so kill -9 loses nothing acknowledged.
+//     A torn tail is truncated by default; -wal-strict refuses it with
+//     exit code 4 instead. -wal-sync > 0 batches fsyncs (group commit).
+//   - Follower (-follow): tail a primary's log over HTTP and serve
+//     read-only replicas of its data. Reconnects with jittered
+//     exponential backoff and resumes from its own position; add -wal to
+//     persist the stream locally and rejoin without a full re-fetch.
 //
 // Endpoints:
 //
-//	GET /query?q=/site//person/age[text='32']&limit=10&timeout=2s&verify=1
-//	GET /stats      index shape, admission counters, reload history
-//	GET /healthz    liveness + degradation detail (always 200 while serving)
-//	GET /readyz     503 while draining, 200 otherwise
+//	GET  /query?q=/site//person/age[text='32']&limit=10&timeout=2s&verify=1
+//	POST /insert?id=7   (primary) body = one XML document; 200 once durable
+//	GET  /wal?from=1    (primary) stream framed log entries; long-polls
+//	GET  /stats         index shape, admission/ingest/durability/replication
+//	GET  /healthz       liveness + degradation detail (always 200 while serving)
+//	GET  /readyz        503 while draining, 200 otherwise
 //
 // Usage:
 //
 //	xseqquery -data corpus.xml -saveindex /var/lib/xseq/corpus.idx
 //	xseqd -index /var/lib/xseq/corpus.idx -addr :8080
+//	xseqd -wal /var/lib/xseq/ingest.wal -addr :8080          # primary
+//	xseqd -follow http://primary:8080 -addr :8081            # follower
 //	curl 'localhost:8080/query?q=/rec/title'
-//	kill -HUP $(pidof xseqd)    # pick up a rewritten snapshot
+//	kill -HUP $(pidof xseqd)    # static mode: pick up a rewritten snapshot
+//
+// Exit codes: 0 ok, 1 startup/listener failure, 2 usage, 3 startup
+// timeout, 4 unrecoverable log or snapshot corruption (notably a torn or
+// corrupt WAL under -wal-strict) — scripts can distinguish "retry me"
+// from "restore from backup".
 //
 // The -chaos-* flags arm per-route fault injection on /query (latency,
 // errors, panics) for resilience drills; all default to off. -pprof serves
@@ -30,6 +51,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -41,13 +63,41 @@ import (
 	"syscall"
 	"time"
 
+	"xseq"
 	"xseq/internal/faultio"
 	"xseq/internal/server"
 )
 
+// Exit codes, part of the command's contract (mirrors xseqquery).
+const (
+	exitOK      = 0
+	exitFailure = 1
+	exitUsage   = 2
+	exitTimeout = 3
+	exitCorrupt = 4
+)
+
+// exitCode classifies a startup error: corruption (a bad snapshot, or a
+// torn/corrupt WAL under -wal-strict) is permanent and gets its own code so
+// supervisors don't restart-loop over a log that needs operator attention.
+func exitCode(err error) int {
+	var walCorrupt *xseq.WALCorruptError
+	var snapCorrupt *xseq.CorruptError
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return exitTimeout
+	case errors.As(err, &walCorrupt), errors.As(err, &snapCorrupt):
+		return exitCorrupt
+	default:
+		return exitFailure
+	}
+}
+
 func main() {
 	var (
-		index    = flag.String("index", "", "index snapshot file to serve (required; written by xseqquery -saveindex)")
+		index    = flag.String("index", "", "index snapshot file to serve (static mode; written by xseqquery -saveindex)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		maxConc  = flag.Int("max-concurrent", 32, "queries executing at once")
 		maxQueue = flag.Int("max-queue", 0, "queries waiting for a slot (0 = 2*max-concurrent); beyond this, 429")
@@ -60,19 +110,24 @@ func main() {
 		qcache   = flag.Int("query-cache", 0, "cache up to this many query results per snapshot, invalidated on reload (0 = no cache); hit rates in /stats")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it private — off by default")
 
+		walPath   = flag.String("wal", "", "primary mode: write-ahead log path; inserts are durable and replayed on restart")
+		walStrict = flag.Bool("wal-strict", false, "refuse a torn or corrupt WAL tail at startup (exit 4) instead of truncating it")
+		walSync   = flag.Duration("wal-sync", 0, "group-commit window: batch WAL fsyncs up to this long (0 = fsync per insert)")
+		follow    = flag.String("follow", "", "follower mode: tail this primary's /wal and serve read-only replicas")
+
 		chaosLatency      = flag.Duration("chaos-latency", 0, "chaos: latency injected into /query when -chaos-latency-every fires")
 		chaosLatencyEvery = flag.Int("chaos-latency-every", 0, "chaos: inject latency into every nth /query (0 = off)")
 		chaosErrorEvery   = flag.Int("chaos-error-every", 0, "chaos: fail every nth /query with 500 (0 = off)")
 		chaosPanicEvery   = flag.Int("chaos-panic-every", 0, "chaos: panic on every nth /query, contained to a 500 (0 = off)")
 	)
 	flag.Parse()
-	if *index == "" {
-		fmt.Fprintln(os.Stderr, "xseqd: -index is required")
-		os.Exit(2)
+	if err := validateMode(*index, *walPath, *follow); err != nil {
+		fmt.Fprintf(os.Stderr, "xseqd: %v\n", err)
+		os.Exit(exitUsage)
 	}
 	if *shards < 0 || *workers < 0 || *qcache < 0 {
 		fmt.Fprintln(os.Stderr, "xseqd: -shards, -workers, and -query-cache must be >= 0")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
@@ -80,6 +135,10 @@ func main() {
 
 	cfg := server.Config{
 		IndexPath:         *index,
+		WALPath:           *walPath,
+		WALStrict:         *walStrict,
+		WALSyncWindow:     *walSync,
+		FollowURL:         *follow,
 		MaxConcurrent:     *maxConc,
 		MaxQueue:          *maxQueue,
 		DefaultTimeout:    *timeout,
@@ -107,7 +166,7 @@ func main() {
 	srv, err := server.New(cfg)
 	if err != nil {
 		log.Printf("xseqd: %v", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
@@ -133,32 +192,44 @@ func main() {
 		}()
 	}
 
-	// SIGHUP: hot snapshot reload, forever.
-	hup := make(chan os.Signal, 1)
-	signal.Notify(hup, syscall.SIGHUP)
-	go func() {
-		for range hup {
-			_ = srv.Reload() // failure keeps old snapshot; visible in /healthz
+	// SIGHUP hot-reload and -watch polling are snapshot-swap machinery;
+	// dynamic modes recover state from the log instead.
+	if *index != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				_ = srv.Reload() // failure keeps old snapshot; visible in /healthz
+			}
+		}()
+		watchCtx, stopWatch := context.WithCancel(context.Background())
+		defer stopWatch()
+		if *watch > 0 {
+			go srv.WatchFile(watchCtx, *watch)
 		}
-	}()
-
-	watchCtx, stopWatch := context.WithCancel(context.Background())
-	defer stopWatch()
-	if *watch > 0 {
-		go srv.WatchFile(watchCtx, *watch)
 	}
 
+	source := *index
+	switch {
+	case *follow != "":
+		source = "follower of " + *follow
+		if *walPath != "" {
+			source += " (durable: " + *walPath + ")"
+		}
+	case *walPath != "":
+		source = "primary over " + *walPath
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("xseqd: serving %s on %s (admit %d, queue %d, drain budget %v)",
-		*index, *addr, *maxConc, cfg.MaxQueue, *drain)
+		source, *addr, *maxConc, cfg.MaxQueue, *drain)
 
 	term := make(chan os.Signal, 1)
 	signal.Notify(term, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		log.Printf("xseqd: listener failed: %v", err)
-		os.Exit(1)
+		os.Exit(exitFailure)
 	case sig := <-term:
 		log.Printf("xseqd: %v: draining (budget %v)", sig, *drain)
 	}
@@ -175,4 +246,21 @@ func main() {
 		log.Printf("xseqd: drained cleanly")
 	}
 	_ = httpSrv.Close()
+	// Stop the replication loop (follower) and close the WAL (dynamic
+	// modes) only after the drain: acknowledged inserts are already
+	// durable, this just releases the file handle cleanly.
+	_ = srv.Close()
+}
+
+// validateMode enforces that exactly one serving mode is selected: -index
+// (static), -wal (primary), or -follow (follower, optionally with -wal for
+// a durable local copy of the replicated stream).
+func validateMode(index, walPath, follow string) error {
+	switch {
+	case index == "" && walPath == "" && follow == "":
+		return errors.New("one of -index (static), -wal (primary), or -follow (follower) is required")
+	case index != "" && (walPath != "" || follow != ""):
+		return errors.New("-index serves an immutable snapshot; it cannot be combined with -wal or -follow")
+	}
+	return nil
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"xseq"
+)
+
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, exitOK},
+		{"generic", errors.New("bind: address already in use"), exitFailure},
+		{"deadline", context.DeadlineExceeded, exitTimeout},
+		{"wrapped cancel", fmt.Errorf("startup: %w", context.Canceled), exitTimeout},
+		{"snapshot corrupt", fmt.Errorf("server: initial snapshot: %w",
+			&xseq.CorruptError{Reason: "checksum mismatch"}), exitCorrupt},
+		{"wal corrupt", fmt.Errorf("server: open wal: %w",
+			&xseq.WALCorruptError{Path: "ingest.wal", Offset: 20, Reason: "torn entry"}), exitCorrupt},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestExitCodesDistinct pins the contract supervisors rely on: a corrupt
+// log under -wal-strict must be distinguishable from a transient failure,
+// or a restart loop would grind on a file that needs operator attention.
+func TestExitCodesDistinct(t *testing.T) {
+	codes := map[int]string{exitOK: "ok", exitFailure: "failure", exitUsage: "usage", exitTimeout: "timeout", exitCorrupt: "corrupt"}
+	if len(codes) != 5 {
+		t.Fatalf("exit codes collide: %v", codes)
+	}
+}
+
+func TestValidateMode(t *testing.T) {
+	cases := []struct {
+		index, wal, follow string
+		ok                 bool
+	}{
+		{"", "", "", false},
+		{"snap.idx", "", "", true},
+		{"", "ingest.wal", "", true},
+		{"", "", "http://primary:8080", true},
+		{"", "ingest.wal", "http://primary:8080", true}, // durable follower
+		{"snap.idx", "ingest.wal", "", false},
+		{"snap.idx", "", "http://primary:8080", false},
+	}
+	for _, c := range cases {
+		err := validateMode(c.index, c.wal, c.follow)
+		if (err == nil) != c.ok {
+			t.Errorf("validateMode(%q, %q, %q) = %v, want ok=%v", c.index, c.wal, c.follow, err, c.ok)
+		}
+	}
+}

@@ -48,6 +48,22 @@ type Dynamic struct {
 	lastErr   error
 	compacts  int // successful compactions
 	failures  int // failed compaction attempts
+
+	// Durability hook (nil without one): every insert is framed and written
+	// to the sink — under mu, after validation, before the in-memory apply —
+	// so the log and the served state never diverge; the durability wait
+	// happens after mu is released so a slow fsync never blocks readers.
+	wal        WALSink
+	encode     func(*xmltree.Document) ([]byte, error)
+	appliedSeq uint64 // seq of the last applied insert
+}
+
+// WALSink is the durability hook Dynamic writes through when one is
+// attached: WriteRecord persists an entry (no durability wait), WaitDurable
+// blocks until it is fsynced. *wal.WAL satisfies it.
+type WALSink interface {
+	WriteRecord(seq uint64, payload []byte) error
+	WaitDurable(ctx context.Context, seq uint64) error
 }
 
 // Builder constructs an engine over a corpus; Dynamic calls it for the
@@ -139,14 +155,38 @@ func (d *Dynamic) Insert(doc *xmltree.Document) error {
 // If that automatic compaction fails, the document is still inserted (it
 // remains buffered and queryable) and the failure is returned as a
 // *CompactionError; the rebuild is retried after threshold further inserts.
+//
+// With a WAL attached, the entry is written to the log before the document
+// becomes visible and the call blocks until it is durable: a returned nil
+// means the insert survives kill -9. A durability failure after the apply is
+// returned as an error — the caller must treat the insert as unacknowledged
+// even though this process already serves it (at-least-once on replay).
 func (d *Dynamic) InsertContext(ctx context.Context, doc *xmltree.Document) error {
 	if doc == nil || doc.Root == nil {
 		return fmt.Errorf("engine: nil document")
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.seen[doc.ID] {
+		d.mu.Unlock()
 		return fmt.Errorf("engine: duplicate document id %d", doc.ID)
+	}
+	// Log before apply: a failed write leaves both the log and the served
+	// state untouched; a successful write that this process then loses
+	// (crash before the apply below completes) is replayed on restart.
+	// Validation (the duplicate check above) runs first so the log never
+	// records an entry the in-memory apply would reject — replay must
+	// re-apply every logged entry verbatim.
+	seq := d.appliedSeq + 1
+	if d.wal != nil {
+		payload, err := d.encode(doc)
+		if err != nil {
+			d.mu.Unlock()
+			return fmt.Errorf("engine: encode document %d for wal: %w", doc.ID, err)
+		}
+		if err := d.wal.WriteRecord(seq, payload); err != nil {
+			d.mu.Unlock()
+			return fmt.Errorf("engine: wal append for document %d: %w", doc.ID, err)
+		}
 	}
 	// Invalidate cached results before the new document becomes visible: a
 	// reader that still observes the old generation can only be served
@@ -156,15 +196,69 @@ func (d *Dynamic) InsertContext(ctx context.Context, doc *xmltree.Document) erro
 	d.seen[doc.ID] = true
 	d.buffer = append(d.buffer, doc)
 	d.delta = nil
+	d.appliedSeq = seq
+	var cerr error
 	if len(d.buffer) >= d.compactAt {
-		if err := d.compactLocked(ctx); err != nil {
+		if cerr = d.compactLocked(ctx); cerr != nil {
 			// Keep serving the old state; back off one threshold before
 			// the next automatic attempt.
 			d.compactAt = len(d.buffer) + d.threshold
-			return err
 		}
 	}
-	return nil
+	sink := d.wal
+	d.mu.Unlock()
+	if sink != nil {
+		if err := sink.WaitDurable(ctx, seq); err != nil {
+			return fmt.Errorf("engine: document %d applied but not yet durable: %w", doc.ID, err)
+		}
+	}
+	return cerr
+}
+
+// AttachWAL arms the durability hook: every subsequent insert is encoded
+// and written to sink before it is applied. lastSeq seeds the sequence
+// numbering — pass the replayed log's last sequence number so new inserts
+// continue where the log left off. Call before serving begins; AttachWAL
+// itself is not synchronized against in-flight inserts.
+func (d *Dynamic) AttachWAL(sink WALSink, encode func(*xmltree.Document) ([]byte, error), lastSeq uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wal = sink
+	d.encode = encode
+	d.appliedSeq = lastSeq
+}
+
+// AppliedSeq reports the sequence number of the last applied insert —
+// seeded by AttachWAL from the replayed log, advanced by every insert
+// (with or without a WAL attached, so a follower replica without a local
+// log still tracks the primary's numbering).
+func (d *Dynamic) AppliedSeq() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.appliedSeq
+}
+
+// Contains reports whether a document with the given id is in the corpus.
+// WAL replay uses it to skip entries a checkpoint snapshot already covers
+// (a crash between snapshotting and log rotation leaves an overlap).
+func (d *Dynamic) Contains(id int32) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.seen[id]
+}
+
+// CompactForCheckpoint compacts and returns, atomically with respect to
+// inserts, the sequence number the compacted state covers and the frozen
+// main engine (nil for an empty corpus). Snapshotting that engine and then
+// rotating the WAL at that sequence number is the checkpoint recipe: every
+// logged entry not in the snapshot stays in the log.
+func (d *Dynamic) CompactForCheckpoint(ctx context.Context) (uint64, Engine, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.compactLocked(ctx); err != nil {
+		return 0, nil, err
+	}
+	return d.appliedSeq, d.main, nil
 }
 
 // Query answers a pattern over main + delta, ids ascending; it is

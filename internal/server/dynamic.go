@@ -1,0 +1,429 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xseq"
+	"xseq/internal/wal"
+)
+
+// insertResponse is the POST /insert success body.
+type insertResponse struct {
+	ID int32 `json:"id"`
+	// Seq is the WAL sequence number state after this insert: the insert
+	// is durable up to at least this position.
+	Seq       uint64 `json:"seq"`
+	Documents int    `json:"documents"`
+	Pending   int    `json:"pending"`
+	// Warning is set when the insert landed (and is durable) but the
+	// automatic compaction it triggered failed; the index keeps serving
+	// and retries compaction later.
+	Warning string `json:"warning,omitempty"`
+}
+
+// handleInsert ingests one document on a dynamic primary: the id comes
+// from ?id, the XML document is the request body. The insert is
+// acknowledged only after the WAL entry is fsynced.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.dyn == nil {
+		writeError(w, http.StatusNotFound, "this server serves a static snapshot; inserts need a -wal primary")
+		return
+	}
+	if s.repl != nil {
+		writeError(w, http.StatusForbidden, "this server is a read-only follower; insert on the primary")
+		return
+	}
+	params := r.URL.Query()
+	idStr := params.Get("id")
+	if idStr == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter id")
+		return
+	}
+	id64, err := strconv.ParseInt(idStr, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad id %q", idStr))
+		return
+	}
+	timeout, terr := requestTimeout(params, s.cfg)
+	if terr != nil {
+		writeError(w, http.StatusBadRequest, terr.Error())
+		return
+	}
+
+	if !s.dr.enter() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.dr.exit()
+
+	ctx, cancelReq := context.WithTimeout(r.Context(), timeout)
+	defer cancelReq()
+	stopAfter := context.AfterFunc(s.baseCtx, cancelReq)
+	defer stopAfter()
+
+	if err := s.gate.acquire(ctx); err != nil {
+		if errors.Is(err, errOverloaded) {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued for admission")
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "cancelled while queued for admission")
+		}
+		return
+	}
+	defer s.gate.release()
+
+	doc, err := xseq.ParseDocument(int32(id64), http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad document: %v", err))
+		return
+	}
+
+	err = s.dyn.InsertContext(ctx, doc)
+	var warning string
+	if err != nil {
+		var cerr *xseq.CompactionError
+		switch {
+		case errors.As(err, &cerr):
+			// The insert itself landed and is durable; only the triggered
+			// rebuild failed, and it retries automatically.
+			warning = cerr.Error()
+		case strings.Contains(err.Error(), "duplicate document id"):
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			s.insertErrs.Add(1)
+			writeError(w, http.StatusGatewayTimeout,
+				"insert deadline exceeded (durability unconfirmed: the document may or may not survive a restart)")
+			return
+		case errors.Is(err, context.Canceled):
+			s.insertErrs.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "insert cancelled (durability unconfirmed)")
+			return
+		default:
+			s.insertErrs.Add(1)
+			s.cfg.Logf("server: insert id %d failed: %v", id64, err)
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	s.inserts.Add(1)
+	writeJSON(w, http.StatusOK, insertResponse{
+		ID:        int32(id64),
+		Seq:       s.dyn.AppliedSeq(),
+		Documents: s.dyn.NumDocuments(),
+		Pending:   s.dyn.PendingDocuments(),
+		Warning:   warning,
+	})
+}
+
+// WAL stream response headers. Bodies are raw framed WAL entries
+// (application/octet-stream), decodable with the same frame reader the
+// local replay uses.
+const (
+	headerWALCount = "X-Wal-Count"    // entries in this response
+	headerWALLast  = "X-Wal-Last-Seq" // seq of the last included entry (0: none)
+	headerWALHead  = "X-Wal-Head-Seq" // serving log's durable watermark
+	headerWALBase  = "X-Wal-Base-Seq" // serving log's checkpoint base
+)
+
+// handleWAL streams framed log entries to followers: GET /wal?from=N
+// returns durable entries with seq >= N (up to ?max bytes, default 1 MiB).
+// When nothing qualifies yet it long-polls up to ?wait (capped by
+// Config.WALPollWait) and may answer an empty 200 — the follower just asks
+// again. Entries rotated into a checkpoint answer 410 Gone: the follower
+// needs a snapshot, not the log.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.dyn == nil {
+		writeError(w, http.StatusNotFound, "this server serves a static snapshot; no write-ahead log")
+		return
+	}
+	params := r.URL.Query()
+	from := uint64(1)
+	if v := params.Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad from %q", v))
+			return
+		}
+		from = n
+	}
+	maxBytes := 1 << 20
+	if v := params.Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad max %q", v))
+			return
+		}
+		if n > 8<<20 {
+			n = 8 << 20
+		}
+		maxBytes = n
+	}
+	wait := s.cfg.WALPollWait
+	if v := params.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad wait %q", v))
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+
+	frames, count, last, err := s.dyn.ReadWALFrames(from, maxBytes)
+	if err == nil && count == 0 && wait > 0 {
+		// Long-poll: wait for the log head to reach the requested entry,
+		// bounded by the wait cap, client disconnect, and server shutdown.
+		wctx, cancel := context.WithTimeout(r.Context(), wait)
+		stopAfter := context.AfterFunc(s.baseCtx, cancel)
+		_ = s.dyn.WaitWALSynced(wctx, from)
+		stopAfter()
+		cancel()
+		frames, count, last, err = s.dyn.ReadWALFrames(from, maxBytes)
+	}
+	st := s.dyn.WALStats()
+	if st != nil {
+		w.Header().Set(headerWALHead, strconv.FormatUint(st.SyncedSeq, 10))
+		w.Header().Set(headerWALBase, strconv.FormatUint(st.BaseSeq, 10))
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, xseq.ErrUnsupported):
+			writeError(w, http.StatusNotFound, "this index has no write-ahead log")
+		case errors.Is(err, xseq.ErrWALRotated):
+			writeError(w, http.StatusGone, err.Error())
+		default:
+			s.cfg.Logf("server: wal read from seq %d failed: %v", from, err)
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	w.Header().Set(headerWALCount, strconv.Itoa(count))
+	w.Header().Set(headerWALLast, strconv.FormatUint(last, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frames)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frames)
+}
+
+// replicator tails a primary's /wal endpoint and applies every entry to
+// the local dynamic index. It reconnects with exponential backoff plus
+// jitter, resumes from the last applied sequence number (which a local WAL
+// preserves across restarts), and degrades gracefully: while the primary
+// is unreachable the follower keeps serving reads and reports the
+// condition through /healthz.
+type replicator struct {
+	s      *Server
+	client *http.Client
+	done   chan struct{}
+
+	mu          sync.Mutex
+	lastErr     error
+	lastContact time.Time
+	primaryHead uint64
+	gone        bool // primary rotated past our position; log cannot catch us up
+	attempts    int64
+	applied     int64
+}
+
+func newReplicator(s *Server) *replicator {
+	return &replicator{
+		s: s,
+		// No overall request timeout: /wal long-polls by design. Dial and
+		// header timeouts keep a dead primary from hanging a poll forever.
+		client: &http.Client{Transport: &http.Transport{
+			ResponseHeaderTimeout: s.cfg.WALPollWait + 10*time.Second,
+		}},
+		done: make(chan struct{}),
+	}
+}
+
+func (r *replicator) wait() { <-r.done }
+
+// run is the replication loop; it exits when ctx (the server's base
+// context) is cancelled.
+func (r *replicator) run(ctx context.Context) {
+	defer close(r.done)
+	backoff := r.s.cfg.FollowMinBackoff
+	for ctx.Err() == nil {
+		err := r.poll(ctx)
+		if err == nil {
+			backoff = r.s.cfg.FollowMinBackoff
+			continue // the primary's long-poll paces the loop
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		r.mu.Lock()
+		r.lastErr = err
+		r.mu.Unlock()
+		r.s.cfg.Logf("server: follower: %v (retrying in ~%v)", err, backoff)
+		// Full jitter around the current backoff step: between 50% and
+		// 150% of it, so a fleet of followers does not reconnect in sync.
+		d := backoff/2 + rand.N(backoff+1)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(d):
+		}
+		if backoff *= 2; backoff > r.s.cfg.FollowMaxBackoff {
+			backoff = r.s.cfg.FollowMaxBackoff
+		}
+	}
+}
+
+// poll performs one GET /wal round: request entries after the last applied
+// sequence number, apply everything received. A nil return means the
+// primary answered (possibly with no new entries).
+func (r *replicator) poll(ctx context.Context) error {
+	from := r.s.dyn.AppliedSeq() + 1
+	u := strings.TrimSuffix(r.s.cfg.FollowURL, "/") + "/wal?" + url.Values{
+		"from": {strconv.FormatUint(from, 10)},
+		"wait": {r.s.cfg.WALPollWait.String()},
+	}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("follow %s: %w", r.s.cfg.FollowURL, err)
+	}
+	r.mu.Lock()
+	r.attempts++
+	r.mu.Unlock()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("follow %s: %w", r.s.cfg.FollowURL, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		r.mu.Lock()
+		r.gone = true
+		r.mu.Unlock()
+		return fmt.Errorf("primary rotated its log past seq %d; this follower needs a fresh snapshot seed", from)
+	default:
+		return fmt.Errorf("primary answered %s to /wal", resp.Status)
+	}
+
+	head, _ := strconv.ParseUint(resp.Header.Get(headerWALHead), 10, 64)
+	r.mu.Lock()
+	r.lastContact = time.Now()
+	r.primaryHead = head
+	r.gone = false
+	r.mu.Unlock()
+	if applied := from - 1; head < applied {
+		return fmt.Errorf("primary log head %d is behind this follower's position %d (wrong primary, or primary data loss)", head, applied)
+	}
+
+	rd := wal.NewReader(resp.Body, from-1)
+	for {
+		seq, payload, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("wal stream from %s: %w", r.s.cfg.FollowURL, err)
+		}
+		if err := r.s.dyn.ApplyReplicated(ctx, seq, payload); err != nil {
+			return fmt.Errorf("apply replicated seq %d: %w", seq, err)
+		}
+		r.mu.Lock()
+		r.applied++
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	r.lastErr = nil
+	r.mu.Unlock()
+	return nil
+}
+
+// replicationStatus is the follower's state snapshot for /stats and
+// /healthz.
+type replicationStatus struct {
+	// Primary is the followed base URL.
+	Primary string `json:"primary"`
+	// AppliedSeq is the local replication position; PrimaryHeadSeq the
+	// primary's durable watermark at last contact; Lag their difference.
+	AppliedSeq     uint64 `json:"applied_seq"`
+	PrimaryHeadSeq uint64 `json:"primary_head_seq"`
+	Lag            uint64 `json:"lag"`
+	// Attempts counts /wal polls; EntriesApplied replicated entries.
+	Attempts       int64 `json:"attempts"`
+	EntriesApplied int64 `json:"entries_applied"`
+	// LastContactMS is how long ago the primary last answered (-1: never).
+	LastContactMS float64 `json:"last_contact_ms"`
+	// LastError is the current replication failure, "" while healthy.
+	LastError string `json:"last_error,omitempty"`
+	// Gone reports that the primary rotated its log past this follower's
+	// position: polling cannot catch up; the follower needs re-seeding.
+	Gone bool `json:"gone,omitempty"`
+}
+
+func (r *replicator) status() *replicationStatus {
+	applied := r.s.dyn.AppliedSeq()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &replicationStatus{
+		Primary:        r.s.cfg.FollowURL,
+		AppliedSeq:     applied,
+		PrimaryHeadSeq: r.primaryHead,
+		Attempts:       r.attempts,
+		EntriesApplied: r.applied,
+		LastContactMS:  -1,
+		Gone:           r.gone,
+	}
+	if r.primaryHead > applied {
+		st.Lag = r.primaryHead - applied
+	}
+	if !r.lastContact.IsZero() {
+		st.LastContactMS = float64(time.Since(r.lastContact)) / float64(time.Millisecond)
+	}
+	if r.lastErr != nil {
+		st.LastError = r.lastErr.Error()
+	}
+	return st
+}
+
+// requestTimeout resolves the per-request deadline: the ?timeout parameter
+// when present (capped at Config.MaxTimeout), Config.DefaultTimeout
+// otherwise.
+func requestTimeout(params url.Values, cfg Config) (time.Duration, error) {
+	timeout := cfg.DefaultTimeout
+	if v := params.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return 0, fmt.Errorf("bad timeout %q", v)
+		}
+		if d > cfg.MaxTimeout {
+			d = cfg.MaxTimeout
+		}
+		timeout = d
+	}
+	return timeout, nil
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"time"
 
@@ -16,6 +17,9 @@ import (
 // answering; the error is recorded for /healthz and returned. cmd/xseqd
 // wires this to SIGHUP; WatchFile calls it on mtime change.
 func (s *Server) Reload() error {
+	if s.swap == nil {
+		return fmt.Errorf("server: reload applies to static snapshot mode only")
+	}
 	mtime, size := statFile(s.cfg.IndexPath)
 	ix, err := xseq.LoadFile(s.cfg.IndexPath)
 	if err == nil {

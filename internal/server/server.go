@@ -28,11 +28,41 @@ import (
 )
 
 // Config tunes a Server. The zero value of every field means "use the
-// default" noted on it; IndexPath is the only required field.
+// default" noted on it. Exactly one serving mode must be selected:
+// IndexPath (static snapshot), WALPath (durable dynamic primary), or
+// FollowURL (replica tailing a primary; may combine with WALPath for a
+// durable follower).
 type Config struct {
 	// IndexPath is the SaveFile snapshot to serve; Reload and WatchFile
-	// re-read it.
+	// re-read it. Mutually exclusive with WALPath and FollowURL.
 	IndexPath string
+	// WALPath makes the server a durable dynamic primary: it serves an
+	// updatable index recovered from (and logging to) the write-ahead log
+	// at this path, accepts POST /insert, and streams the log to followers
+	// on GET /wal.
+	WALPath string
+	// WALStrict refuses to start on a torn or corrupt WAL tail instead of
+	// truncating at the tear; the startup error matches *xseq.WALCorruptError.
+	WALStrict bool
+	// WALSyncWindow batches WAL fsyncs over this group-commit window
+	// (0: fsync per insert, shared between concurrent inserters).
+	WALSyncWindow time.Duration
+	// FollowURL makes the server a read-only follower of the primary at
+	// this base URL (e.g. "http://primary:8080"): it tails GET /wal,
+	// applies every entry, answers queries, and rejects POST /insert with
+	// 403. With WALPath also set the follower persists what it applies and
+	// resumes from its own log after a restart.
+	FollowURL string
+	// FollowMinBackoff and FollowMaxBackoff bound the exponential backoff
+	// (with jitter) between failed attempts to reach the primary
+	// (defaults 100ms and 5s). The follower keeps serving reads while the
+	// primary is unreachable; /healthz reports degraded with the error.
+	FollowMinBackoff time.Duration
+	FollowMaxBackoff time.Duration
+	// WALPollWait caps how long GET /wal may long-poll for entries beyond
+	// the head before answering empty (default 25s), and how long this
+	// server's own follower loop asks a primary to hold.
+	WALPollWait time.Duration
 	// MaxConcurrent bounds queries executing at once (default 32).
 	MaxConcurrent int
 	// MaxQueue bounds queries waiting for a slot (default 2*MaxConcurrent);
@@ -78,6 +108,18 @@ func (c *Config) applyDefaults() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.FollowMinBackoff <= 0 {
+		c.FollowMinBackoff = 100 * time.Millisecond
+	}
+	if c.FollowMaxBackoff <= 0 {
+		c.FollowMaxBackoff = 5 * time.Second
+	}
+	if c.FollowMaxBackoff < c.FollowMinBackoff {
+		c.FollowMaxBackoff = c.FollowMinBackoff
+	}
+	if c.WALPollWait <= 0 {
+		c.WALPollWait = 25 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -88,19 +130,23 @@ func (c *Config) applyDefaults() {
 // the http.Server (or httptest.Server) in front of it.
 type Server struct {
 	cfg     Config
-	swap    *xseq.Swapper
+	swap    *xseq.Swapper       // static mode only
+	dyn     *xseq.DynamicIndex  // primary and follower modes only
+	repl    *replicator         // follower mode only
 	gate    *gate
 	dr      *drainer
 	handler http.Handler
 	started time.Time
 
 	// baseCtx is cancelled to abort every in-flight query once the drain
-	// budget is exhausted.
+	// budget is exhausted (and to stop the follower's replication loop).
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
 	queries     atomic.Int64
 	queryErrors atomic.Int64
+	inserts     atomic.Int64
+	insertErrs  atomic.Int64
 
 	mu             sync.Mutex
 	loadedAt       time.Time
@@ -115,41 +161,85 @@ type Server struct {
 	testHookAdmitted func(ctx context.Context)
 }
 
-// New loads the initial snapshot from cfg.IndexPath and returns a ready
-// Server. A server never starts without a valid snapshot; later reload
-// failures degrade instead.
+// New builds a Server in the mode cfg selects: a static snapshot server
+// (IndexPath), a durable dynamic primary (WALPath), or a follower replica
+// (FollowURL). A static server never starts without a valid snapshot (later
+// reload failures degrade instead); a primary never starts over a WAL it
+// cannot replay.
 func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
-	if cfg.IndexPath == "" {
-		return nil, fmt.Errorf("server: Config.IndexPath is required")
-	}
-	ix, err := xseq.LoadFile(cfg.IndexPath)
-	if err != nil {
-		return nil, fmt.Errorf("server: initial snapshot: %w", err)
-	}
-	if err := checkShards(cfg.ExpectShards, ix); err != nil {
-		return nil, fmt.Errorf("server: initial snapshot: %w", err)
-	}
-	if cfg.QueryCacheEntries > 0 {
-		ix.EnableQueryCache(cfg.QueryCacheEntries)
+	if cfg.IndexPath != "" && (cfg.WALPath != "" || cfg.FollowURL != "") {
+		return nil, fmt.Errorf("server: Config.IndexPath is mutually exclusive with WALPath/FollowURL")
 	}
 	s := &Server{
 		cfg:     cfg,
-		swap:    xseq.NewSwapper(ix),
 		gate:    newGate(cfg.MaxConcurrent, cfg.MaxQueue),
 		dr:      &drainer{},
 		started: time.Now(),
 	}
-	s.loadedAt = time.Now()
-	s.snapMTime, s.snapSize = statFile(cfg.IndexPath)
+	switch {
+	case cfg.FollowURL != "" || cfg.WALPath != "":
+		dyn, err := xseq.BuildDynamic(nil, xseq.Config{
+			Shards:            cfg.ExpectShards,
+			QueryCacheEntries: cfg.QueryCacheEntries,
+			WALPath:           cfg.WALPath,
+			WALStrict:         cfg.WALStrict,
+			WALSyncWindow:     cfg.WALSyncWindow,
+		}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("server: dynamic index: %w", err)
+		}
+		s.dyn = dyn
+		if st := dyn.WALStats(); st != nil && st.ReplayedEntries > 0 {
+			cfg.Logf("server: wal %s replayed %d entries to seq %d (truncated %d torn bytes)",
+				st.Path, st.ReplayedEntries, st.LastSeq, st.ReplayTruncatedBytes)
+		}
+	default:
+		if cfg.IndexPath == "" {
+			return nil, fmt.Errorf("server: one of Config.IndexPath, WALPath, FollowURL is required")
+		}
+		ix, err := xseq.LoadFile(cfg.IndexPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: initial snapshot: %w", err)
+		}
+		if err := checkShards(cfg.ExpectShards, ix); err != nil {
+			return nil, fmt.Errorf("server: initial snapshot: %w", err)
+		}
+		if cfg.QueryCacheEntries > 0 {
+			ix.EnableQueryCache(cfg.QueryCacheEntries)
+		}
+		s.swap = xseq.NewSwapper(ix)
+		s.loadedAt = time.Now()
+		s.snapMTime, s.snapSize = statFile(cfg.IndexPath)
+	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	if cfg.FollowURL != "" {
+		s.repl = newReplicator(s)
+		go s.repl.run(s.baseCtx)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/wal", s.handleWAL)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	s.handler = recoverMiddleware(cfg.Logf, chaosMiddleware(cfg.Chaos, mux))
 	return s, nil
+}
+
+// Close releases the server's background resources: the follower's
+// replication loop and the dynamic index's write-ahead log. Queries already
+// admitted finish; call Drain first for a graceful stop. Idempotent.
+func (s *Server) Close() error {
+	s.cancel()
+	if s.repl != nil {
+		s.repl.wait()
+	}
+	if s.dyn != nil {
+		return s.dyn.Close()
+	}
+	return nil
 }
 
 // ServeHTTP dispatches to the route handlers through the chaos (if armed)
@@ -211,17 +301,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	verify := params.Get("verify") == "1" || params.Get("verify") == "true"
-	timeout := s.cfg.DefaultTimeout
-	if v := params.Get("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout %q", v))
-			return
-		}
-		if d > s.cfg.MaxTimeout {
-			d = s.cfg.MaxTimeout
-		}
-		timeout = d
+	timeout, terr := requestTimeout(params, s.cfg)
+	if terr != nil {
+		writeError(w, http.StatusBadRequest, terr.Error())
+		return
 	}
 
 	if !s.dr.enter() {
@@ -257,7 +340,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		hook(ctx)
 	}
 
-	ix := s.swap.Current()
+	ix := s.index()
 	start := time.Now()
 	var ids []int32
 	var err error
@@ -298,9 +381,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// querier is the query surface every serving mode exposes: a static
+// *xseq.Index snapshot or a dynamic *xseq.DynamicIndex.
+type querier interface {
+	QueryContext(ctx context.Context, q string) ([]int32, error)
+	QueryVerifiedContext(ctx context.Context, q string) ([]int32, error)
+	QueryLimitContext(ctx context.Context, q string, max int) ([]int32, error)
+}
+
+// index returns the serving index for this request: the dynamic index in
+// primary/follower mode, the current snapshot otherwise.
+func (s *Server) index() querier {
+	if s.dyn != nil {
+		return s.dyn
+	}
+	return s.swap.Current()
+}
+
+// indexStats snapshots the serving index's shape regardless of mode.
+func (s *Server) indexStats() xseq.Stats {
+	if s.dyn != nil {
+		return s.dyn.Stats()
+	}
+	return s.swap.Current().Stats()
+}
+
+// mode names the serving mode for stats and health bodies.
+func (s *Server) mode() string {
+	switch {
+	case s.repl != nil:
+		return "follower"
+	case s.dyn != nil:
+		return "primary"
+	default:
+		return "static"
+	}
+}
+
 // statsResponse is the /stats body: index shape, admission counters, and
 // reload history.
 type statsResponse struct {
+	Mode  string `json:"mode"` // "static" | "primary" | "follower"
 	Index struct {
 		Documents          int   `json:"documents"`
 		IndexNodes         int   `json:"index_nodes"`
@@ -322,11 +443,97 @@ type statsResponse struct {
 		Admitted      int64 `json:"admitted"`
 		Rejected      int64 `json:"rejected"`
 	} `json:"admission"`
-	Snapshot snapshotStatus `json:"snapshot"`
-	Queries  int64          `json:"queries"`
-	Errors   int64          `json:"query_errors"`
-	UptimeMS float64        `json:"uptime_ms"`
-	Draining bool           `json:"draining"`
+	// Snapshot is present in static mode only.
+	Snapshot *snapshotStatus `json:"snapshot,omitempty"`
+	// Ingest is present in primary and follower modes.
+	Ingest *ingestStat `json:"ingest,omitempty"`
+	// Durability is present whenever the index runs over a write-ahead log.
+	Durability *durabilityStat `json:"durability,omitempty"`
+	// Replication is present in follower mode.
+	Replication *replicationStatus `json:"replication,omitempty"`
+	Queries     int64              `json:"queries"`
+	Errors      int64              `json:"query_errors"`
+	UptimeMS    float64            `json:"uptime_ms"`
+	Draining    bool               `json:"draining"`
+}
+
+// ingestStat is the /stats section for dynamic modes: insert counters and
+// the compaction pipeline's condition.
+type ingestStat struct {
+	Inserts             int64  `json:"inserts"`
+	InsertErrors        int64  `json:"insert_errors"`
+	AppliedSeq          uint64 `json:"applied_seq"`
+	Pending             int    `json:"pending"`
+	Compactions         int    `json:"compactions"`
+	FailedCompactions   int    `json:"failed_compactions"`
+	LastCompactionError string `json:"last_compaction_error,omitempty"`
+}
+
+// durabilityStat is the /stats write-ahead-log section.
+type durabilityStat struct {
+	Path                 string `json:"path"`
+	SizeBytes            int64  `json:"size_bytes"`
+	Entries              int    `json:"entries"`
+	BaseSeq              uint64 `json:"base_seq"`
+	LastSeq              uint64 `json:"last_seq"`
+	SyncedSeq            uint64 `json:"synced_seq"`
+	Appends              int64  `json:"appends"`
+	Syncs                int64  `json:"syncs"`
+	Rotations            int64  `json:"rotations"`
+	ReplayedEntries      int    `json:"replayed_entries"`
+	ReplayTruncatedBytes int64  `json:"replay_truncated_bytes"`
+	LastError            string `json:"last_error,omitempty"`
+}
+
+// ingestStat collects the dynamic index's insert/compaction condition, nil
+// in static mode.
+func (s *Server) ingestStat() *ingestStat {
+	if s.dyn == nil {
+		return nil
+	}
+	h := s.dyn.Health()
+	return &ingestStat{
+		Inserts:             s.inserts.Load(),
+		InsertErrors:        s.insertErrs.Load(),
+		AppliedSeq:          s.dyn.AppliedSeq(),
+		Pending:             h.Pending,
+		Compactions:         h.Compactions,
+		FailedCompactions:   h.FailedCompactions,
+		LastCompactionError: h.LastCompactionError,
+	}
+}
+
+// durabilityStat converts the WAL's counters, nil without a log.
+func (s *Server) durabilityStat() *durabilityStat {
+	if s.dyn == nil {
+		return nil
+	}
+	st := s.dyn.WALStats()
+	if st == nil {
+		return nil
+	}
+	return &durabilityStat{
+		Path:                 st.Path,
+		SizeBytes:            st.SizeBytes,
+		Entries:              st.Entries,
+		BaseSeq:              st.BaseSeq,
+		LastSeq:              st.LastSeq,
+		SyncedSeq:            st.SyncedSeq,
+		Appends:              st.Appends,
+		Syncs:                st.Syncs,
+		Rotations:            st.Rotations,
+		ReplayedEntries:      st.ReplayedEntries,
+		ReplayTruncatedBytes: st.ReplayTruncatedBytes,
+		LastError:            st.LastError,
+	}
+}
+
+// replicationStat snapshots the follower's state, nil otherwise.
+func (s *Server) replicationStat() *replicationStatus {
+	if s.repl == nil {
+		return nil
+	}
+	return s.repl.status()
 }
 
 // shardStat is one shard's slice of the /stats index section.
@@ -384,7 +591,8 @@ func (s *Server) snapshotStatus() snapshotStatus {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp statsResponse
-	st := s.swap.Current().Stats()
+	resp.Mode = s.mode()
+	st := s.indexStats()
 	resp.Index.Documents = st.Documents
 	resp.Index.IndexNodes = st.IndexNodes
 	resp.Index.Links = st.Links
@@ -412,7 +620,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Admission.Waiting = s.gate.waiting.Load()
 	resp.Admission.Admitted = s.gate.admitted.Load()
 	resp.Admission.Rejected = s.gate.rejected.Load()
-	resp.Snapshot = s.snapshotStatus()
+	if s.swap != nil {
+		snap := s.snapshotStatus()
+		resp.Snapshot = &snap
+	}
+	resp.Ingest = s.ingestStat()
+	resp.Durability = s.durabilityStat()
+	resp.Replication = s.replicationStat()
 	resp.Queries = s.queries.Load()
 	resp.Errors = s.queryErrors.Load()
 	resp.UptimeMS = float64(time.Since(s.started)) / float64(time.Millisecond)
@@ -422,25 +636,63 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // healthResponse is the /healthz body. The endpoint is liveness plus
 // degradation detail: it answers 200 as long as the process can serve at
-// all, with status "degraded" (and the error) when the last snapshot
-// reload failed — the old snapshot keeps serving, mirroring the
-// keep-serving-on-failure discipline of Dynamic compaction.
+// all, with status "degraded" (and the reason) when something needs
+// attention while reads keep working — a failed snapshot reload (static),
+// a failed compaction or a sick WAL (dynamic), an unreachable or
+// rotated-away primary (follower). In every degraded state the server
+// keeps answering queries over the state it has; degraded is "needs
+// attention", not an outage.
 type healthResponse struct {
-	Status    string         `json:"status"` // "ok" | "degraded"
-	Documents int            `json:"documents"`
-	Snapshot  snapshotStatus `json:"snapshot"`
-	Draining  bool           `json:"draining"`
+	Status    string `json:"status"` // "ok" | "degraded"
+	Mode      string `json:"mode"`
+	Documents int    `json:"documents"`
+	// Snapshot is present in static mode only.
+	Snapshot *snapshotStatus `json:"snapshot,omitempty"`
+	// AppliedSeq is present in primary and follower modes: the WAL
+	// position the served state reflects.
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	// WALError is the log's sticky fsync failure: the server still
+	// answers queries but refuses inserts.
+	WALError string `json:"wal_error,omitempty"`
+	// CompactionError is the most recent compaction failure (the index
+	// keeps serving and retries).
+	CompactionError string `json:"compaction_error,omitempty"`
+	// Replication carries the follower's lag and connection condition.
+	Replication *replicationStatus `json:"replication,omitempty"`
+	Draining    bool               `json:"draining"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{
 		Status:    "ok",
-		Documents: s.swap.Current().Stats().Documents,
-		Snapshot:  s.snapshotStatus(),
+		Mode:      s.mode(),
+		Documents: s.indexStats().Documents,
 		Draining:  s.dr.isDraining(),
 	}
-	if resp.Snapshot.LastReloadError != "" {
-		resp.Status = "degraded"
+	if s.swap != nil {
+		snap := s.snapshotStatus()
+		resp.Snapshot = &snap
+		if snap.LastReloadError != "" {
+			resp.Status = "degraded"
+		}
+	}
+	if s.dyn != nil {
+		resp.AppliedSeq = s.dyn.AppliedSeq()
+		if h := s.dyn.Health(); h.Degraded {
+			resp.CompactionError = h.LastCompactionError
+			resp.Status = "degraded"
+		}
+		if st := s.dyn.WALStats(); st != nil && st.LastError != "" {
+			resp.WALError = st.LastError
+			resp.Status = "degraded"
+		}
+	}
+	if s.repl != nil {
+		rs := s.repl.status()
+		resp.Replication = rs
+		if rs.LastError != "" || rs.Gone {
+			resp.Status = "degraded"
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

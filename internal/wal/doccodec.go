@@ -1,0 +1,41 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"xseq/internal/xmltree"
+)
+
+// WAL payloads are self-contained gob encodings of the inserted document —
+// the same serialization the snapshot format uses for retained corpora, so
+// a replayed or replicated document is byte-for-byte the tree the primary
+// indexed (no XML re-parse, no whitespace or entity drift). Each entry is
+// independently decodable: the type definitions gob needs are carried per
+// payload, which costs a few dozen bytes but lets replay resume at any
+// entry and lets a follower join a stream mid-log.
+
+// EncodeDocument renders doc as a WAL entry payload.
+func EncodeDocument(doc *xmltree.Document) ([]byte, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("wal: nil document")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(doc); err != nil {
+		return nil, fmt.Errorf("wal: encode document %d: %w", doc.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeDocument reconstructs a document from a WAL entry payload.
+func DecodeDocument(payload []byte) (*xmltree.Document, error) {
+	var doc xmltree.Document
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&doc); err != nil {
+		return nil, &CorruptError{Offset: -1, Reason: "undecodable document payload", Err: err}
+	}
+	if doc.Root == nil {
+		return nil, &CorruptError{Offset: -1, Reason: "document payload without a root"}
+	}
+	return &doc, nil
+}

@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWALDecode throws arbitrary bytes at the frame decoder. Invariants:
+// DecodeEntry never panics, never reads past its input, classifies every
+// outcome as success / ErrIncomplete / *CorruptError, and a successful
+// decode re-encodes to exactly the consumed prefix. The streaming Reader
+// must agree with the flat decoder on the same bytes.
+func FuzzWALDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeHeader(0))
+	f.Add(AppendEntry(nil, 1, []byte("seed")))
+	f.Add(AppendEntry(AppendEntry(nil, 7, []byte("a")), 8, bytes.Repeat([]byte{0xee}, 300)))
+	f.Add(AppendEntry(nil, 42, nil))
+	f.Add([]byte{0x78, 0x57, 0x4c, 0x31, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, payload, n, err := DecodeEntry(data)
+		switch {
+		case err == nil:
+			if n <= 0 || n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			reenc := AppendEntry(nil, seq, payload)
+			if !bytes.Equal(reenc, data[:n]) {
+				t.Fatalf("re-encode mismatch: %x != %x", reenc, data[:n])
+			}
+		case errors.Is(err, ErrIncomplete):
+			// More bytes could complete the frame; nothing to check.
+		default:
+			var cerr *CorruptError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+		}
+
+		// The streaming reader sees the same bytes: its first result must
+		// match the flat decoder's (modulo its extra monotonicity rule,
+		// which cannot fire on the first entry above base 0).
+		rseq, rpayload, rerr := NewReader(bytes.NewReader(data), 0).Next()
+		switch {
+		case err == nil && seq > 0:
+			if rerr != nil || rseq != seq || !bytes.Equal(rpayload, payload) {
+				t.Fatalf("reader disagrees: (%d, %x, %v) vs (%d, %x)", rseq, rpayload, rerr, seq, payload)
+			}
+		case err == nil && seq == 0:
+			// Valid frame with seq 0: the reader rejects it as non-increasing.
+			var cerr *CorruptError
+			if !errors.As(rerr, &cerr) {
+				t.Fatalf("reader accepted seq 0: %v", rerr)
+			}
+		case errors.Is(err, ErrIncomplete):
+			if len(data) == 0 {
+				if rerr != io.EOF {
+					t.Fatalf("reader on empty input: %v", rerr)
+				}
+				break
+			}
+			if !errors.Is(rerr, ErrIncomplete) {
+				t.Fatalf("reader on torn frame: %v", rerr)
+			}
+		default:
+			var cerr *CorruptError
+			if !errors.As(rerr, &cerr) {
+				t.Fatalf("reader on corrupt frame: %v", rerr)
+			}
+		}
+	})
+}

@@ -37,6 +37,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"xseq/internal/engine"
 	"xseq/internal/index"
@@ -47,6 +48,7 @@ import (
 	"xseq/internal/schema"
 	"xseq/internal/sequence"
 	"xseq/internal/shard"
+	"xseq/internal/wal"
 	"xseq/internal/xmltree"
 )
 
@@ -63,6 +65,17 @@ type CorruptError = index.CorruptError
 // serving its pre-compaction state and retries automatically; detect the
 // condition with errors.As.
 type CompactionError = engine.CompactionError
+
+// WALCorruptError reports a write-ahead log that failed validation: an
+// uninterpretable file header, or (under Config.WALStrict) a torn or
+// checksum-bad tail that lenient recovery would have truncated. Detect it
+// with errors.As.
+type WALCorruptError = wal.CorruptError
+
+// ErrWALRotated reports a ReadWALFrames request for entries a checkpoint
+// already rotated out of the log; the requester needs a snapshot, not the
+// log. Detect it with errors.Is.
+var ErrWALRotated = wal.ErrRotated
 
 // ErrUnsupported reports an operation the index's storage layout cannot
 // perform — paged I/O simulation on a sharded index, SchemaOutline where no
@@ -197,6 +210,21 @@ type Config struct {
 	// snapshot generation, so a DynamicIndex insert or compaction
 	// invalidates them exactly. Cache counters surface in Stats.QueryCache.
 	QueryCacheEntries int
+	// WALPath makes BuildDynamic durable: every insert is appended (framed
+	// and checksummed) to the write-ahead log at this path and fsynced
+	// before the insert is acknowledged, and on startup the log is replayed
+	// so a crash — kill -9 included — loses no acknowledged insert. Only
+	// BuildDynamic honours it; "" disables the log.
+	WALPath string
+	// WALStrict makes startup fail with a *WALCorruptError on a torn or
+	// checksum-bad log tail instead of truncating the log at the tear (the
+	// default, which is what a crash mid-append legitimately leaves behind).
+	WALStrict bool
+	// WALSyncWindow batches WAL fsyncs (group commit): an insert is
+	// acknowledged at the next window boundary, so under concurrent load
+	// one fsync covers a whole batch. 0 fsyncs per insert (still sharing
+	// fsyncs between concurrent inserters).
+	WALSyncWindow time.Duration
 }
 
 // Index is an immutable constraint-sequence index over a corpus. The
@@ -550,6 +578,22 @@ func (ix *Index) FetchDocuments(ids []int32) ([]*Document, error) {
 	return out, nil
 }
 
+// StoredDocuments returns every stored document, ids ascending by input
+// order — the restart seed for BuildDynamic after loading a Checkpoint
+// snapshot. Requires Config.KeepDocuments at build time (snapshots persist
+// the corpus only when it was kept).
+func (ix *Index) StoredDocuments() ([]*Document, error) {
+	stored := ix.eng.Documents()
+	if stored == nil {
+		return nil, fmt.Errorf("xseq: StoredDocuments requires Config.KeepDocuments")
+	}
+	out := make([]*Document, len(stored))
+	for i, d := range stored {
+		out[i] = &Document{id: d.ID, root: d.Root}
+	}
+	return out, nil
+}
+
 // Save serializes the index (designator tables, links, document lists,
 // inferred schema, and — when built with KeepDocuments — the corpus) so it
 // can be reloaded with Load without re-parsing or re-sequencing anything.
@@ -691,8 +735,10 @@ func (s *Swapper) SwapFromFile(path string) (*Index, error) {
 // automatically once it reaches the compaction threshold). Safe for
 // concurrent use.
 type DynamicIndex struct {
-	d   *engine.Dynamic
-	eng engine.Engine // d, possibly wrapped in a result cache
+	d      *engine.Dynamic
+	eng    engine.Engine // d, possibly wrapped in a result cache
+	w      *wal.WAL      // nil without Config.WALPath
+	replay wal.ReplayStats
 }
 
 // BuildDynamic builds an updatable index over an initial corpus (which may
@@ -704,6 +750,16 @@ type DynamicIndex struct {
 // monolithic dynamic index either way. Config.QueryCacheEntries composes a
 // result cache over the whole dynamic engine, invalidated exactly on every
 // insert and compaction.
+//
+// Config.WALPath arms durable ingestion: the log at that path is replayed
+// on top of the initial corpus (entries whose document id the corpus
+// already holds are skipped — the overlap a crash between checkpointing
+// and log rotation leaves), then every insert is logged and fsynced before
+// it is acknowledged. Close the index when done so the final group commit
+// lands. The restart recipe after a Checkpoint: load the snapshot (built
+// with Config.KeepDocuments), pass its StoredDocuments as the initial
+// corpus, and keep the same WALPath — replay supplies everything newer
+// than the snapshot.
 func BuildDynamic(initial []*Document, cfg Config, threshold int) (_ *DynamicIndex, err error) {
 	defer guard(&err)
 	subCfg := cfg
@@ -733,6 +789,29 @@ func BuildDynamic(initial []*Document, cfg Config, threshold int) (_ *DynamicInd
 		return nil, err
 	}
 	di := &DynamicIndex{d: dyn, eng: dyn}
+	if cfg.WALPath != "" {
+		w, st, err := wal.Open(cfg.WALPath, wal.Options{
+			SyncWindow: cfg.WALSyncWindow,
+			Strict:     cfg.WALStrict,
+			Apply: func(seq uint64, payload []byte) error {
+				doc, err := wal.DecodeDocument(payload)
+				if err != nil {
+					return err
+				}
+				if dyn.Contains(doc.ID) {
+					// Already covered by the initial corpus — the entry
+					// predates a checkpoint whose rotation didn't land.
+					return nil
+				}
+				return dyn.InsertContext(context.Background(), doc)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("xseq: wal %s: %w", cfg.WALPath, err)
+		}
+		dyn.AttachWAL(w, wal.EncodeDocument, st.LastSeq)
+		di.w, di.replay = w, st
+	}
 	if cfg.QueryCacheEntries > 0 {
 		di.eng = qcache.New(dyn, cfg.QueryCacheEntries)
 	}
@@ -798,9 +877,200 @@ func (d *DynamicIndex) NumDocuments() int { return d.d.NumDocuments() }
 // PendingDocuments reports how many documents await compaction.
 func (d *DynamicIndex) PendingDocuments() int { return d.d.PendingDocuments() }
 
+// QueryVerified is Query with exact value semantics over main + delta:
+// every candidate is checked against its stored document. Requires
+// Config.KeepDocuments.
+func (d *DynamicIndex) QueryVerified(q string) ([]int32, error) {
+	return d.QueryVerifiedContext(context.Background(), q)
+}
+
+// QueryVerifiedContext is QueryVerified honouring ctx.
+func (d *DynamicIndex) QueryVerifiedContext(ctx context.Context, q string) (ids []int32, err error) {
+	defer guard(&err)
+	pat, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return d.eng.QueryWithContext(ctx, pat, engine.QueryOptions{Verify: true})
+}
+
+// QueryLimit is Query that stops after max distinct documents (max <= 0:
+// unlimited), counting across main + delta.
+func (d *DynamicIndex) QueryLimit(q string, max int) ([]int32, error) {
+	return d.QueryLimitContext(context.Background(), q, max)
+}
+
+// QueryLimitContext is QueryLimit honouring ctx.
+func (d *DynamicIndex) QueryLimitContext(ctx context.Context, q string, max int) (ids []int32, err error) {
+	defer guard(&err)
+	pat, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return d.eng.QueryWithContext(ctx, pat, engine.QueryOptions{MaxResults: max})
+}
+
+// Stats returns index statistics (the corpus includes buffered documents;
+// node and link counts cover the compacted main index).
+func (d *DynamicIndex) Stats() Stats {
+	st := Stats{
+		Documents:          d.eng.NumDocuments(),
+		IndexNodes:         d.eng.NumNodes(),
+		Links:              d.eng.NumLinks(),
+		EstimatedDiskBytes: d.eng.EstimatedDiskBytes(),
+		QueryCache:         cacheStats(d.eng),
+	}
+	if per := d.eng.Shards(); per != nil {
+		st.Shards = len(per)
+		st.PerShard = make([]ShardStats, len(per))
+		for i, s := range per {
+			st.PerShard[i] = ShardStats{Documents: s.Documents, IndexNodes: s.Nodes, Links: s.Links}
+		}
+	}
+	return st
+}
+
 // CacheStats reports the query result cache's counters, nil when built
 // without Config.QueryCacheEntries.
 func (d *DynamicIndex) CacheStats() *QueryCacheStats { return cacheStats(d.eng) }
+
+// AppliedSeq reports the WAL sequence number of the last applied insert —
+// the durable high-water mark on a primary, the replication position on a
+// follower. 0 before any insert (and, without a WAL, before any insert
+// since construction).
+func (d *DynamicIndex) AppliedSeq() uint64 { return d.d.AppliedSeq() }
+
+// WALStats reports the write-ahead log's condition, nil when the index was
+// built without Config.WALPath.
+type WALStats struct {
+	// Path is the log file.
+	Path string
+	// SizeBytes is the log's current size.
+	SizeBytes int64
+	// Entries is the number of entries currently in the log.
+	Entries int
+	// BaseSeq is the checkpoint base: entries at or below it were rotated
+	// into a snapshot. LastSeq is the append head; SyncedSeq the durable
+	// (fsynced) watermark.
+	BaseSeq, LastSeq, SyncedSeq uint64
+	// Appends, Syncs, Rotations count log operations since startup.
+	Appends, Syncs, Rotations int64
+	// ReplayedEntries and ReplayTruncatedBytes describe startup recovery:
+	// how many entries the log restored, and how long a torn tail it
+	// truncated (0 for a clean shutdown).
+	ReplayedEntries      int
+	ReplayTruncatedBytes int64
+	// LastError is the sticky fsync failure, "" while the log is healthy.
+	// A log with a LastError acknowledges nothing: inserts fail until the
+	// process (and its disk) recovers.
+	LastError string
+}
+
+// WALStats returns the log's condition, nil without a WAL.
+func (d *DynamicIndex) WALStats() *WALStats {
+	if d.w == nil {
+		return nil
+	}
+	st := d.w.Stats()
+	return &WALStats{
+		Path:                 st.Path,
+		SizeBytes:            st.SizeBytes,
+		Entries:              st.Entries,
+		BaseSeq:              st.BaseSeq,
+		LastSeq:              st.LastSeq,
+		SyncedSeq:            st.SyncedSeq,
+		Appends:              st.Appends,
+		Syncs:                st.Syncs,
+		Rotations:            st.Rotations,
+		ReplayedEntries:      d.replay.Entries,
+		ReplayTruncatedBytes: d.replay.TruncatedBytes,
+		LastError:            st.LastError,
+	}
+}
+
+// ReadWALFrames returns raw framed log entries with sequence numbers >=
+// from out of the durable prefix of the WAL — the payload a primary
+// streams to followers. It returns up to maxBytes of frames (always at
+// least one entry when any qualifies), the entry count, and the last
+// included sequence number. Entries a checkpoint rotated away report
+// ErrWALRotated; an index without a WAL reports ErrUnsupported.
+func (d *DynamicIndex) ReadWALFrames(from uint64, maxBytes int) (frames []byte, count int, last uint64, err error) {
+	defer guard(&err)
+	if d.w == nil {
+		return nil, 0, 0, fmt.Errorf("xseq: wal frames on an index without a WAL: %w", ErrUnsupported)
+	}
+	return d.w.ReadFrames(from, maxBytes)
+}
+
+// WaitWALSynced blocks until the WAL's durable watermark reaches seq, ctx
+// ends, or the index closes — the long-poll primitive behind a replication
+// endpoint. An index without a WAL reports ErrUnsupported.
+func (d *DynamicIndex) WaitWALSynced(ctx context.Context, seq uint64) (err error) {
+	defer guard(&err)
+	if d.w == nil {
+		return fmt.Errorf("xseq: wal wait on an index without a WAL: %w", ErrUnsupported)
+	}
+	return d.w.WaitSynced(ctx, seq)
+}
+
+// ApplyReplicated applies one replicated WAL entry — a (seq, payload)
+// frame read from a primary's stream — to a follower index. Entries must
+// arrive in sequence order (seq == AppliedSeq()+1); the payload is decoded
+// exactly as local replay would. If this index has its own WAL, the entry
+// is logged under the primary's sequence number before it is applied, so
+// the follower's durability matches its acknowledgement.
+func (d *DynamicIndex) ApplyReplicated(ctx context.Context, seq uint64, payload []byte) (err error) {
+	defer guard(&err)
+	if want := d.d.AppliedSeq() + 1; seq != want {
+		return fmt.Errorf("xseq: replicated entry seq %d, want %d (apply in order)", seq, want)
+	}
+	doc, err := wal.DecodeDocument(payload)
+	if err != nil {
+		return err
+	}
+	return d.d.InsertContext(ctx, doc)
+}
+
+// Checkpoint is CheckpointContext with context.Background().
+func (d *DynamicIndex) Checkpoint(path string) error {
+	return d.CheckpointContext(context.Background(), path)
+}
+
+// CheckpointContext compacts the index, snapshots the compacted state to
+// path (SaveFile semantics: temp file, fsync, atomic rename), and rotates
+// the WAL so entries the snapshot covers are dropped from the log. Inserts
+// arriving during the snapshot stay in the log. Build with
+// Config.KeepDocuments if the snapshot is meant to seed a restart (see
+// BuildDynamic). A crash between the snapshot and the rotation leaves an
+// overlap that replay skips; a crash before the snapshot leaves the full
+// log. Without a WAL, CheckpointContext is compact + save.
+func (d *DynamicIndex) CheckpointContext(ctx context.Context, path string) (err error) {
+	defer guard(&err)
+	seq, main, err := d.d.CompactForCheckpoint(ctx)
+	if err != nil {
+		return err
+	}
+	if main == nil {
+		return fmt.Errorf("xseq: checkpoint of an empty index")
+	}
+	if err := main.SaveFile(path); err != nil {
+		return err
+	}
+	if d.w != nil {
+		return d.w.Rotate(seq)
+	}
+	return nil
+}
+
+// Close releases the write-ahead log (flushing its final group commit);
+// the index itself keeps answering queries, but further inserts fail. A
+// WAL-less index closes as a no-op. Close is idempotent.
+func (d *DynamicIndex) Close() error {
+	if d.w == nil {
+		return nil
+	}
+	return d.w.Close()
+}
 
 // Health summarizes a DynamicIndex's serving condition for health
 // endpoints. Degraded means the most recent compaction failed; the index is
