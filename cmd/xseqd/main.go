@@ -15,16 +15,26 @@
 //     restart the log replays, so kill -9 loses nothing acknowledged.
 //     A torn tail is truncated by default; -wal-strict refuses it with
 //     exit code 4 instead. -wal-sync > 0 batches fsyncs (group commit).
+//     -checkpoint-every N (entries) or SIZE (e.g. 64MB) arms automatic
+//     checkpoints: the log is compacted into a snapshot (-checkpoint,
+//     default <wal>.ckpt), rotated, and served on GET /snapshot; restarts
+//     seed from the snapshot and replay only the short log tail.
 //   - Follower (-follow): tail a primary's log over HTTP and serve
 //     read-only replicas of its data. Reconnects with jittered
-//     exponential backoff and resumes from its own position; add -wal to
-//     persist the stream locally and rejoin without a full re-fetch.
+//     exponential backoff (honouring the primary's Retry-After) and
+//     resumes from its own position; add -wal to persist the stream
+//     locally and rejoin without a full re-fetch. When the primary has
+//     rotated its log past the follower's position, the follower
+//     self-heals: it downloads the primary's checkpoint from /snapshot,
+//     verifies length and CRC, swaps it in without dropping a single
+//     query, and resumes tailing from the snapshot's position.
 //
 // Endpoints:
 //
 //	GET  /query?q=/site//person/age[text='32']&limit=10&timeout=2s&verify=1
 //	POST /insert?id=7   (primary) body = one XML document; 200 once durable
 //	GET  /wal?from=1    (primary) stream framed log entries; long-polls
+//	GET  /snapshot      (primary) stream the latest checkpoint; X-Snapshot-Seq/-Crc32
 //	GET  /stats         index shape, admission/ingest/durability/replication
 //	GET  /healthz       liveness + degradation detail (always 200 while serving)
 //	GET  /readyz        503 while draining, 200 otherwise
@@ -60,6 +70,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -114,6 +126,8 @@ func main() {
 		walStrict = flag.Bool("wal-strict", false, "refuse a torn or corrupt WAL tail at startup (exit 4) instead of truncating it")
 		walSync   = flag.Duration("wal-sync", 0, "group-commit window: batch WAL fsyncs up to this long (0 = fsync per insert)")
 		follow    = flag.String("follow", "", "follower mode: tail this primary's /wal and serve read-only replicas")
+		ckptEvery = flag.String("checkpoint-every", "", "checkpoint the WAL once it holds this many entries (e.g. 10000) or bytes (e.g. 64MB); requires -wal")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint snapshot path (default <wal>.ckpt); served on GET /snapshot and used to seed restarts")
 
 		chaosLatency      = flag.Duration("chaos-latency", 0, "chaos: latency injected into /query when -chaos-latency-every fires")
 		chaosLatencyEvery = flag.Int("chaos-latency-every", 0, "chaos: inject latency into every nth /query (0 = off)")
@@ -125,6 +139,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xseqd: %v\n", err)
 		os.Exit(exitUsage)
 	}
+	ckptEntries, ckptBytes, err := parseCheckpointEvery(*ckptEvery)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xseqd: %v\n", err)
+		os.Exit(exitUsage)
+	}
+	if *ckptEvery != "" && *walPath == "" {
+		fmt.Fprintln(os.Stderr, "xseqd: -checkpoint-every requires -wal (the policy rotates the log it checkpoints)")
+		os.Exit(exitUsage)
+	}
+	if *ckptPath != "" && *walPath == "" && *follow == "" {
+		fmt.Fprintln(os.Stderr, "xseqd: -checkpoint requires -wal or -follow")
+		os.Exit(exitUsage)
+	}
 	if *shards < 0 || *workers < 0 || *qcache < 0 {
 		fmt.Fprintln(os.Stderr, "xseqd: -shards, -workers, and -query-cache must be >= 0")
 		os.Exit(exitUsage)
@@ -134,17 +161,20 @@ func main() {
 	}
 
 	cfg := server.Config{
-		IndexPath:         *index,
-		WALPath:           *walPath,
-		WALStrict:         *walStrict,
-		WALSyncWindow:     *walSync,
-		FollowURL:         *follow,
-		MaxConcurrent:     *maxConc,
-		MaxQueue:          *maxQueue,
-		DefaultTimeout:    *timeout,
-		MaxTimeout:        *maxTO,
-		ExpectShards:      *shards,
-		QueryCacheEntries: *qcache,
+		IndexPath:              *index,
+		WALPath:                *walPath,
+		WALStrict:              *walStrict,
+		WALSyncWindow:          *walSync,
+		FollowURL:              *follow,
+		CheckpointEveryEntries: ckptEntries,
+		CheckpointEveryBytes:   ckptBytes,
+		CheckpointPath:         *ckptPath,
+		MaxConcurrent:          *maxConc,
+		MaxQueue:               *maxQueue,
+		DefaultTimeout:         *timeout,
+		MaxTimeout:             *maxTO,
+		ExpectShards:           *shards,
+		QueryCacheEntries:      *qcache,
 	}
 	if *chaosLatencyEvery > 0 || *chaosErrorEvery > 0 || *chaosPanicEvery > 0 {
 		faults := server.ChaosFaults{}
@@ -218,6 +248,9 @@ func main() {
 		}
 	case *walPath != "":
 		source = "primary over " + *walPath
+		if *ckptEvery != "" {
+			source += " (checkpoint every " + *ckptEvery + ")"
+		}
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -250,6 +283,34 @@ func main() {
 	// modes) only after the drain: acknowledged inserts are already
 	// durable, this just releases the file handle cleanly.
 	_ = srv.Close()
+}
+
+// parseCheckpointEvery parses the -checkpoint-every threshold: a bare
+// positive integer counts WAL entries; a KB/MB/GB/B suffix
+// (case-insensitive) makes it a byte bound. "" means the policy is off.
+func parseCheckpointEvery(s string) (entries int, bytes int64, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	// Longest suffix first so "64KB" is not parsed as "64K" + "B".
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"GB", 1 << 30}, {"MB", 1 << 20}, {"KB", 1 << 10}, {"B", 1}} {
+		if num, ok := strings.CutSuffix(upper, u.suffix); ok {
+			n, perr := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+			if perr != nil || n <= 0 || n > (1<<62)/u.mult {
+				return 0, 0, fmt.Errorf("bad -checkpoint-every %q: want a positive size like 64MB", s)
+			}
+			return 0, n * u.mult, nil
+		}
+	}
+	n, perr := strconv.Atoi(upper)
+	if perr != nil || n <= 0 {
+		return 0, 0, fmt.Errorf("bad -checkpoint-every %q: want a positive entry count or a size like 64MB", s)
+	}
+	return n, 0, nil
 }
 
 // validateMode enforces that exactly one serving mode is selected: -index

@@ -41,6 +41,42 @@ func TestExitCodesDistinct(t *testing.T) {
 	}
 }
 
+func TestParseCheckpointEvery(t *testing.T) {
+	cases := []struct {
+		in          string
+		wantEntries int
+		wantBytes   int64
+		ok          bool
+	}{
+		{"", 0, 0, true},
+		{"10000", 10000, 0, true},
+		{"1", 1, 0, true},
+		{"64MB", 0, 64 << 20, true},
+		{"64mb", 0, 64 << 20, true},
+		{" 2 GB ", 0, 2 << 30, true},
+		{"512KB", 0, 512 << 10, true},
+		{"128B", 0, 128, true},
+		{"0", 0, 0, false},
+		{"-5", 0, 0, false},
+		{"0MB", 0, 0, false},
+		{"MB", 0, 0, false},
+		{"ten", 0, 0, false},
+		{"10XB", 0, 0, false},
+		{"9999999999GB", 0, 0, false}, // overflows int64 bytes
+	}
+	for _, c := range cases {
+		entries, bytes, err := parseCheckpointEvery(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parseCheckpointEvery(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if entries != c.wantEntries || bytes != c.wantBytes {
+			t.Errorf("parseCheckpointEvery(%q) = (%d, %d), want (%d, %d)",
+				c.in, entries, bytes, c.wantEntries, c.wantBytes)
+		}
+	}
+}
+
 func TestValidateMode(t *testing.T) {
 	cases := []struct {
 		index, wal, follow string

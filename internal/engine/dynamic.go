@@ -247,6 +247,57 @@ func (d *Dynamic) Contains(id int32) bool {
 	return d.seen[id]
 }
 
+// ResetTo replaces the entire serving state with a frozen engine and its
+// corpus — the re-seed primitive for a follower installing a primary
+// checkpoint it can no longer reach through the log. The swap is atomic
+// with respect to queries and inserts: a reader sees either the complete
+// old state or the complete new one, and the generation bump invalidates
+// any result cache layered above. seq is the WAL sequence number the
+// snapshot covers; replication resumes at seq+1. main may be nil only
+// with an empty corpus.
+func (d *Dynamic) ResetTo(main Engine, docs []*xmltree.Document, seq uint64) error {
+	seen := make(map[int32]bool, len(docs))
+	for _, doc := range docs {
+		if doc == nil || doc.Root == nil {
+			return fmt.Errorf("engine: nil document in reset corpus")
+		}
+		if seen[doc.ID] {
+			return fmt.Errorf("engine: duplicate document id %d in reset corpus", doc.ID)
+		}
+		seen[doc.ID] = true
+	}
+	if main == nil && len(docs) > 0 {
+		return fmt.Errorf("engine: reset with %d documents but no engine", len(docs))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Invalidate before the swap becomes visible, same rule as inserts.
+	d.gen.Add(1)
+	d.main = main
+	d.mainDocs = append([]*xmltree.Document(nil), docs...)
+	d.buffer = nil
+	d.delta = nil
+	d.seen = seen
+	d.appliedSeq = seq
+	d.compactAt = d.threshold
+	return nil
+}
+
+// SkipReplicated advances the replication position past an entry whose
+// document the corpus already holds — the overlap a snapshot seed leaves
+// when the primary's checkpoint covers more than its advertised sequence
+// number (a crash between snapshot save and log rotation). The entry must
+// be the next in order, exactly like an applied one.
+func (d *Dynamic) SkipReplicated(seq uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if want := d.appliedSeq + 1; seq != want {
+		return fmt.Errorf("engine: skip replicated seq %d, want %d", seq, want)
+	}
+	d.appliedSeq = seq
+	return nil
+}
+
 // CompactForCheckpoint compacts and returns, atomically with respect to
 // inserts, the sequence number the compacted state covers and the frozen
 // main engine (nil for an empty corpus). Snapshotting that engine and then

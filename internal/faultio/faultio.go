@@ -114,6 +114,26 @@ func (t *TruncatingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// FlippingReader reads from R, inverting bit (Bit mod 8) of the byte at
+// Offset — a single bit flipped in flight on an otherwise intact,
+// correct-length stream, exactly the corruption end-to-end checksums
+// exist to catch.
+type FlippingReader struct {
+	R      io.Reader
+	Offset int64
+	Bit    uint
+	pos    int64
+}
+
+func (f *FlippingReader) Read(p []byte) (int, error) {
+	n, err := f.R.Read(p)
+	if n > 0 && f.Offset >= f.pos && f.Offset < f.pos+int64(n) {
+		p[f.Offset-f.pos] ^= 1 << (f.Bit % 8)
+	}
+	f.pos += int64(n)
+	return n, err
+}
+
 // FailingWriter forwards to W and returns Err (default ErrInjected) once
 // Limit bytes have been accepted; the failing call writes the bytes that
 // fit and reports the error — a disk that fills or dies mid-write.

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshot transfer headers: the serving side advertises the WAL sequence
+// number the checkpoint covers and its CRC-32 (IEEE) so a re-seeding
+// follower can verify the download end-to-end before swapping it in.
+const (
+	headerSnapSeq = "X-Snapshot-Seq"
+	headerSnapCRC = "X-Snapshot-Crc32"
+)
+
+// snapshotMeta identifies the checkpoint file /snapshot currently serves.
+// Checkpoint writes only ever replace the path by atomic rename, so an
+// opened fd's content is immutable: the FileInfo recorded here pins the
+// exact file the size/CRC/seq describe, and os.SameFile detects a newer
+// checkpoint landing between the metadata read and the open.
+type snapshotMeta struct {
+	seq  uint64
+	size int64
+	crc  uint32
+	fi   os.FileInfo
+	at   time.Time
+}
+
+// checkpointer runs the automatic checkpoint policy: a background loop
+// samples the WAL and, once it grows past the configured entry or byte
+// bound, compacts the index, snapshots it to CheckpointPath, and rotates
+// the log. Failure containment: a failed checkpoint is logged, counted,
+// backed off exponentially, and surfaced in /stats and /healthz — it
+// never disturbs serving, which continues over the unrotated log.
+type checkpointer struct {
+	s    *Server
+	done chan struct{}
+
+	snapReqs atomic.Int64 // GET /snapshot requests over the server's life
+
+	mu       sync.Mutex
+	meta     *snapshotMeta
+	count    int64
+	failures int64
+	lastErr  error
+	streak   int       // consecutive failures, drives the backoff
+	nextTry  time.Time // earliest next attempt after a failure
+}
+
+func newCheckpointer(s *Server) *checkpointer {
+	return &checkpointer{s: s, done: make(chan struct{})}
+}
+
+func (c *checkpointer) wait() { <-c.done }
+
+// describeSnapshot records the identity of the snapshot at path for
+// /snapshot serving: size, content CRC, and file identity.
+func describeSnapshot(path string, seq uint64) (*snapshotMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	h := crc32.NewIEEE()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshotMeta{seq: seq, size: n, crc: h.Sum32(), fi: fi, at: time.Now()}, nil
+}
+
+// seed publishes a checkpoint file that already exists on disk (startup
+// recovery) for /snapshot serving. seq is the WAL base the log was rotated
+// to when it was written; a snapshot covering slightly more (rotation
+// never landed) is fine — followers skip the overlap.
+func (c *checkpointer) seed(path string, seq uint64) {
+	meta, err := describeSnapshot(path, seq)
+	if err != nil {
+		c.s.cfg.Logf("server: existing checkpoint %s not servable yet: %v", path, err)
+		return
+	}
+	c.mu.Lock()
+	c.meta = meta
+	c.mu.Unlock()
+}
+
+// run samples the WAL every CheckpointPoll and checkpoints when the
+// policy says the log has grown too far; it exits when ctx (the server's
+// base context) is cancelled.
+func (c *checkpointer) run(ctx context.Context) {
+	defer close(c.done)
+	t := time.NewTicker(c.s.cfg.CheckpointPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if c.due() {
+			c.checkpoint(ctx)
+		}
+	}
+}
+
+// due reports whether the log has outgrown the policy bounds and any
+// failure backoff has elapsed.
+func (c *checkpointer) due() bool {
+	c.mu.Lock()
+	waiting := time.Now().Before(c.nextTry)
+	c.mu.Unlock()
+	if waiting {
+		return false
+	}
+	st := c.s.dyn.WALStats()
+	if st == nil || st.Entries == 0 {
+		return false
+	}
+	if st.LastError != "" {
+		// A log with a sticky fsync failure refuses rotation; don't burn
+		// checkpoint attempts against it.
+		return false
+	}
+	cfg := c.s.cfg
+	return (cfg.CheckpointEveryEntries > 0 && st.Entries >= cfg.CheckpointEveryEntries) ||
+		(cfg.CheckpointEveryBytes > 0 && st.SizeBytes >= cfg.CheckpointEveryBytes)
+}
+
+// checkpoint performs one compact+snapshot+rotate round and publishes the
+// result for /snapshot. Serving is never disturbed: on failure the old
+// snapshot (if any) keeps being served and the log keeps growing until
+// the backed-off retry succeeds.
+func (c *checkpointer) checkpoint(ctx context.Context) {
+	path := c.s.cfg.CheckpointPath
+	seq, err := c.s.dyn.CheckpointAt(ctx, path)
+	var meta *snapshotMeta
+	if err == nil {
+		meta, err = describeSnapshot(path, seq)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutdown interrupted the compaction; not a failure
+		}
+		c.failures++
+		c.lastErr = err
+		c.streak++
+		backoff := c.s.cfg.CheckpointPoll * (1 << min(c.streak, 5))
+		if backoff > 30*time.Second {
+			backoff = 30 * time.Second
+		}
+		c.nextTry = time.Now().Add(backoff)
+		c.s.cfg.Logf("server: checkpoint to %s failed (retrying in %v): %v", path, backoff, err)
+		return
+	}
+	c.meta = meta
+	c.count++
+	c.lastErr = nil
+	c.streak = 0
+	c.nextTry = time.Time{}
+	c.s.cfg.Logf("server: checkpoint #%d at seq %d -> %s (%d bytes, crc %08x)",
+		c.count, seq, path, meta.size, meta.crc)
+}
+
+// currentMeta returns the latest published snapshot's identity, nil
+// before the first checkpoint (or seed).
+func (c *checkpointer) currentMeta() *snapshotMeta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meta
+}
+
+// checkpointStat is the /stats checkpoint section.
+type checkpointStat struct {
+	Path          string `json:"path"`
+	EveryEntries  int    `json:"every_entries,omitempty"`
+	EveryBytes    int64  `json:"every_bytes,omitempty"`
+	Checkpoints   int64  `json:"checkpoints"`
+	Failures      int64  `json:"failures"`
+	LastError     string `json:"last_error,omitempty"`
+	SnapshotSeq   uint64 `json:"snapshot_seq"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	SnapshotCRC32 uint32 `json:"snapshot_crc32"`
+	// SnapshotRequests counts GET /snapshot downloads served or shed.
+	SnapshotRequests int64 `json:"snapshot_requests"`
+}
+
+func (c *checkpointer) stat() *checkpointStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &checkpointStat{
+		Path:             c.s.cfg.CheckpointPath,
+		EveryEntries:     c.s.cfg.CheckpointEveryEntries,
+		EveryBytes:       c.s.cfg.CheckpointEveryBytes,
+		Checkpoints:      c.count,
+		Failures:         c.failures,
+		SnapshotRequests: c.snapReqs.Load(),
+	}
+	if c.lastErr != nil {
+		st.LastError = c.lastErr.Error()
+	}
+	if c.meta != nil {
+		st.SnapshotSeq = c.meta.seq
+		st.SnapshotBytes = c.meta.size
+		st.SnapshotCRC32 = c.meta.crc
+	}
+	return st
+}
+
+// handleSnapshot streams the latest checkpoint to a re-seeding follower,
+// with the sequence number and CRC it needs to verify the transfer and
+// resume tailing. A bounded-concurrency gate sheds excess downloads with
+// 429 + Retry-After so snapshot transfers cannot starve queries.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.ckpt == nil {
+		writeError(w, http.StatusNotFound, "no checkpoint service on this server (arm -checkpoint-every on a -wal primary)")
+		return
+	}
+	s.ckpt.snapReqs.Add(1)
+	select {
+	case s.snapSem <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "too many concurrent snapshot downloads")
+		return
+	}
+	defer func() { <-s.snapSem }()
+
+	// Tie the opened fd to the metadata that describes that exact file: a
+	// checkpoint landing between the metadata read and the open fails the
+	// SameFile check and just means another round.
+	for attempt := 0; attempt < 5; attempt++ {
+		meta := s.ckpt.currentMeta()
+		if meta == nil {
+			writeError(w, http.StatusNotFound, "no checkpoint written yet; retry after the first rotation")
+			return
+		}
+		f, err := os.Open(s.cfg.CheckpointPath)
+		if err != nil {
+			s.cfg.Logf("server: snapshot open %s: %v", s.cfg.CheckpointPath, err)
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("open checkpoint: %v", err))
+			return
+		}
+		fi, err := f.Stat()
+		if err != nil || !os.SameFile(fi, meta.fi) {
+			f.Close()
+			continue
+		}
+		w.Header().Set(headerSnapSeq, strconv.FormatUint(meta.seq, 10))
+		w.Header().Set(headerSnapCRC, strconv.FormatUint(uint64(meta.crc), 10))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(meta.size, 10))
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.Copy(w, f)
+		f.Close()
+		return
+	}
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	writeError(w, http.StatusServiceUnavailable, "checkpoint is being replaced; retry")
+}
+
+// fsyncDir fsyncs path's parent directory so a just-renamed file survives
+// a crash of the directory entry itself.
+func fsyncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

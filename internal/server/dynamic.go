@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -230,24 +234,92 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(frames)
 }
 
+// replProtocolError is a malformed or inconsistent primary response —
+// a missing or unparsable X-Wal-* header, an entry count that does not
+// match the advertised one. The follower treats it like any other
+// transient failure (backs off and retries; a flaky proxy can mangle one
+// response) but counts it separately in /stats so a systematically
+// broken peer is visible.
+type replProtocolError struct {
+	what string
+}
+
+func (e *replProtocolError) Error() string { return "replication protocol: " + e.what }
+
+// retryAfterError carries an explicit Retry-After hint from the primary
+// (429/503): the follower sleeps the hinted duration instead of walking
+// its own backoff ladder — the primary knows when it will have capacity.
+type retryAfterError struct {
+	status string
+	after  time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("primary answered %s (retry after %v)", e.status, e.after)
+}
+
+// maxRetryAfter caps how long a primary's Retry-After hint can stall the
+// follower — a corrupted or hostile header must not park replication.
+const maxRetryAfter = 30 * time.Second
+
+// headerUint parses a required uint64 response header; a missing or
+// malformed value is a protocol error, never a silent zero (a zero head
+// would masquerade as "primary is empty" and trip data-loss detection).
+func headerUint(h http.Header, key string) (uint64, error) {
+	v := h.Get(key)
+	if v == "" {
+		return 0, &replProtocolError{what: "missing " + key + " header"}
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, &replProtocolError{what: fmt.Sprintf("bad %s header %q", key, v)}
+	}
+	return n, nil
+}
+
+// retryAfterHint reads a Retry-After header as integer seconds, 0 when
+// absent or malformed (the caller falls back to its own backoff).
+func retryAfterHint(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // replicator tails a primary's /wal endpoint and applies every entry to
 // the local dynamic index. It reconnects with exponential backoff plus
 // jitter, resumes from the last applied sequence number (which a local WAL
 // preserves across restarts), and degrades gracefully: while the primary
 // is unreachable the follower keeps serving reads and reports the
-// condition through /healthz.
+// condition through /healthz. When the primary rotates its log past the
+// follower's position (410 Gone), the loop switches to re-seeding: it
+// downloads the primary's latest checkpoint from /snapshot, verifies
+// length and CRC, swaps it in atomically, and resumes tailing from the
+// snapshot's sequence number — reads keep being served from the old state
+// the whole time, and any failure leaves that state untouched.
 type replicator struct {
 	s      *Server
 	client *http.Client
 	done   chan struct{}
 
-	mu          sync.Mutex
-	lastErr     error
-	lastContact time.Time
-	primaryHead uint64
-	gone        bool // primary rotated past our position; log cannot catch us up
-	attempts    int64
-	applied     int64
+	mu            sync.Mutex
+	lastErr       error
+	lastContact   time.Time
+	primaryHead   uint64
+	gone          bool // primary rotated past our position; log cannot catch us up
+	attempts      int64
+	applied       int64
+	protocolErrs  int64
+	reseeds       int64 // completed snapshot re-seeds
+	reseedTries   int64 // re-seed attempts, including failed ones
+	lastReseedErr error
+	seedSeq       uint64 // seq of the last snapshot swapped in
+	seedBytes     int64  // bytes fetched by the last successful re-seed
 }
 
 func newReplicator(s *Server) *replicator {
@@ -265,12 +337,20 @@ func newReplicator(s *Server) *replicator {
 func (r *replicator) wait() { <-r.done }
 
 // run is the replication loop; it exits when ctx (the server's base
-// context) is cancelled.
+// context) is cancelled. Each round either tails the log (poll) or, after
+// the primary has rotated past us, re-seeds from its snapshot — the same
+// backoff ladder paces both, so a primary without a checkpoint yet is
+// retried gently instead of hammered.
 func (r *replicator) run(ctx context.Context) {
 	defer close(r.done)
 	backoff := r.s.cfg.FollowMinBackoff
 	for ctx.Err() == nil {
-		err := r.poll(ctx)
+		var err error
+		if r.isGone() {
+			err = r.reseed(ctx)
+		} else {
+			err = r.poll(ctx)
+		}
 		if err == nil {
 			backoff = r.s.cfg.FollowMinBackoff
 			continue // the primary's long-poll paces the loop
@@ -278,9 +358,31 @@ func (r *replicator) run(ctx context.Context) {
 		if ctx.Err() != nil {
 			return
 		}
+		var perr *replProtocolError
+		if errors.As(err, &perr) {
+			r.mu.Lock()
+			r.protocolErrs++
+			r.mu.Unlock()
+		}
 		r.mu.Lock()
 		r.lastErr = err
 		r.mu.Unlock()
+		var ra *retryAfterError
+		if errors.As(err, &ra) {
+			// The primary said when to come back; honour it (bounded) and
+			// do not escalate the ladder — this is flow control, not failure.
+			d := min(ra.after, maxRetryAfter)
+			if d < r.s.cfg.FollowMinBackoff {
+				d = r.s.cfg.FollowMinBackoff
+			}
+			r.s.cfg.Logf("server: follower: %v", err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(d):
+			}
+			continue
+		}
 		r.s.cfg.Logf("server: follower: %v (retrying in ~%v)", err, backoff)
 		// Full jitter around the current backoff step: between 50% and
 		// 150% of it, so a fleet of followers does not reconnect in sync.
@@ -294,6 +396,12 @@ func (r *replicator) run(ctx context.Context) {
 			backoff = r.s.cfg.FollowMaxBackoff
 		}
 	}
+}
+
+func (r *replicator) isGone() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gone
 }
 
 // poll performs one GET /wal round: request entries after the last applied
@@ -326,22 +434,39 @@ func (r *replicator) poll(ctx context.Context) error {
 		r.mu.Lock()
 		r.gone = true
 		r.mu.Unlock()
-		return fmt.Errorf("primary rotated its log past seq %d; this follower needs a fresh snapshot seed", from)
+		return fmt.Errorf("primary rotated its log past seq %d; re-seeding from its latest snapshot", from)
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if after := retryAfterHint(resp.Header); after > 0 {
+			return &retryAfterError{status: resp.Status, after: after}
+		}
+		return fmt.Errorf("primary answered %s to /wal", resp.Status)
 	default:
 		return fmt.Errorf("primary answered %s to /wal", resp.Status)
 	}
 
-	head, _ := strconv.ParseUint(resp.Header.Get(headerWALHead), 10, 64)
+	head, err := headerUint(resp.Header, headerWALHead)
+	if err != nil {
+		return err
+	}
+	wantCount, err := headerUint(resp.Header, headerWALCount)
+	if err != nil {
+		return err
+	}
+	wantLast, err := headerUint(resp.Header, headerWALLast)
+	if err != nil {
+		return err
+	}
 	r.mu.Lock()
 	r.lastContact = time.Now()
 	r.primaryHead = head
-	r.gone = false
 	r.mu.Unlock()
 	if applied := from - 1; head < applied {
 		return fmt.Errorf("primary log head %d is behind this follower's position %d (wrong primary, or primary data loss)", head, applied)
 	}
 
 	rd := wal.NewReader(resp.Body, from-1)
+	var got uint64
+	var lastSeq uint64
 	for {
 		seq, payload, err := rd.Next()
 		if err == io.EOF {
@@ -353,9 +478,19 @@ func (r *replicator) poll(ctx context.Context) error {
 		if err := r.s.dyn.ApplyReplicated(ctx, seq, payload); err != nil {
 			return fmt.Errorf("apply replicated seq %d: %w", seq, err)
 		}
+		got++
+		lastSeq = seq
 		r.mu.Lock()
 		r.applied++
 		r.mu.Unlock()
+	}
+	if got != wantCount || (got > 0 && lastSeq != wantLast) {
+		// The entries already applied are intact (each frame is CRC-checked)
+		// but the response was cut short or over-delivered against its own
+		// headers: the next poll resumes from the real position.
+		return &replProtocolError{what: fmt.Sprintf(
+			"body carried %d entries to seq %d, headers promised %d to seq %d",
+			got, lastSeq, wantCount, wantLast)}
 	}
 	r.mu.Lock()
 	r.lastErr = nil
@@ -363,11 +498,156 @@ func (r *replicator) poll(ctx context.Context) error {
 	return nil
 }
 
+// reseed performs one snapshot re-seed round: download the primary's
+// latest checkpoint, verify it end to end, swap it in, resume tailing.
+// Until fetchAndSwap commits the swap, the follower keeps answering
+// queries from its old state; any failure is retried by run's backoff.
+func (r *replicator) reseed(ctx context.Context) error {
+	r.mu.Lock()
+	r.reseedTries++
+	r.mu.Unlock()
+	seq, n, err := r.fetchAndSwap(ctx)
+	if err != nil {
+		r.mu.Lock()
+		r.lastReseedErr = err
+		r.mu.Unlock()
+		return fmt.Errorf("re-seed: %w", err)
+	}
+	r.mu.Lock()
+	r.gone = false
+	r.lastErr = nil
+	r.lastReseedErr = nil
+	r.reseeds++
+	r.seedSeq = seq
+	r.seedBytes = n
+	r.mu.Unlock()
+	r.s.cfg.Logf("server: follower re-seeded from %s at seq %d (%d bytes); resuming log tail",
+		r.s.cfg.FollowURL, seq, n)
+	return nil
+}
+
+// fetchAndSwap downloads GET /snapshot to a temp file, verifies the
+// advertised length and CRC against what actually arrived, loads it, and
+// only then swaps the follower's serving state and WAL. Order matters:
+// every validation happens against the temp file before the swap, so a
+// truncated, bit-flipped, or mid-stream-aborted download changes nothing.
+func (r *replicator) fetchAndSwap(ctx context.Context) (seq uint64, n int64, err error) {
+	u := strings.TrimSuffix(r.s.cfg.FollowURL, "/") + "/snapshot"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return 0, 0, fmt.Errorf("primary has no snapshot to seed from (arm -checkpoint-every on it): %s", resp.Status)
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if after := retryAfterHint(resp.Header); after > 0 {
+			return 0, 0, &retryAfterError{status: resp.Status, after: after}
+		}
+		return 0, 0, fmt.Errorf("primary answered %s to /snapshot", resp.Status)
+	default:
+		return 0, 0, fmt.Errorf("primary answered %s to /snapshot", resp.Status)
+	}
+	seq, err = headerUint(resp.Header, headerSnapSeq)
+	if err != nil {
+		return 0, 0, err
+	}
+	crcWant, err := headerUint(resp.Header, headerSnapCRC)
+	if err != nil {
+		return 0, 0, err
+	}
+	if crcWant > math.MaxUint32 {
+		return 0, 0, &replProtocolError{what: fmt.Sprintf("%s %d out of CRC-32 range", headerSnapCRC, crcWant)}
+	}
+	if resp.ContentLength < 0 {
+		return 0, 0, &replProtocolError{what: "snapshot response without Content-Length"}
+	}
+
+	// Stage the download next to its final home so the publishing rename
+	// stays on one filesystem; memory-only followers stage in the system
+	// temp dir and just discard the file after loading.
+	dir := os.TempDir()
+	if r.s.cfg.CheckpointPath != "" {
+		dir = filepath.Dir(r.s.cfg.CheckpointPath)
+	}
+	f, err := os.CreateTemp(dir, "xseq-reseed-*.tmp")
+	if err != nil {
+		return 0, 0, err
+	}
+	tmpPath := f.Name()
+	kept := false
+	defer func() {
+		if !kept {
+			os.Remove(tmpPath)
+		}
+	}()
+
+	body := io.Reader(resp.Body)
+	if hook := r.s.cfg.testSnapshotBody; hook != nil {
+		body = hook(body)
+	}
+	h := crc32.NewIEEE()
+	n, copyErr := io.Copy(io.MultiWriter(f, h), body)
+	if copyErr != nil {
+		f.Close()
+		return 0, 0, fmt.Errorf("snapshot download after %d bytes: %w", n, copyErr)
+	}
+	if n != resp.ContentLength {
+		f.Close()
+		return 0, 0, fmt.Errorf("snapshot download truncated: got %d bytes, want %d", n, resp.ContentLength)
+	}
+	if got := h.Sum32(); got != uint32(crcWant) {
+		f.Close()
+		return 0, 0, fmt.Errorf("snapshot download corrupt: crc %08x, want %08x", got, uint32(crcWant))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+
+	// LoadFile re-verifies the snapshot's own section checksums: a corrupt
+	// file that somehow passed the transfer CRC still cannot get past here.
+	ix, err := xseq.LoadFile(tmpPath)
+	if err != nil {
+		return 0, 0, fmt.Errorf("downloaded snapshot: %w", err)
+	}
+	if r.s.cfg.CheckpointPath != "" {
+		// Keep the verified seed for restarts, published atomically.
+		if err := os.Rename(tmpPath, r.s.cfg.CheckpointPath); err != nil {
+			return 0, 0, err
+		}
+		kept = true
+		if err := fsyncDir(r.s.cfg.CheckpointPath); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := r.s.dyn.ReseedFromSnapshot(ix, seq); err != nil {
+		return 0, 0, err
+	}
+	return seq, n, nil
+}
+
 // replicationStatus is the follower's state snapshot for /stats and
 // /healthz.
 type replicationStatus struct {
 	// Primary is the followed base URL.
 	Primary string `json:"primary"`
+	// State is "tailing" while the log stream suffices, "reseeding" while
+	// the primary has rotated past this follower and a snapshot transfer
+	// is pending or in flight.
+	State string `json:"state"`
 	// AppliedSeq is the local replication position; PrimaryHeadSeq the
 	// primary's durable watermark at last contact; Lag their difference.
 	AppliedSeq     uint64 `json:"applied_seq"`
@@ -376,12 +656,24 @@ type replicationStatus struct {
 	// Attempts counts /wal polls; EntriesApplied replicated entries.
 	Attempts       int64 `json:"attempts"`
 	EntriesApplied int64 `json:"entries_applied"`
+	// ProtocolErrors counts malformed primary responses (bad or missing
+	// X-Wal-* headers, body/header entry-count mismatches).
+	ProtocolErrors int64 `json:"protocol_errors,omitempty"`
+	// Reseeds counts completed snapshot re-seeds; ReseedAttempts includes
+	// the failed tries; SeedSeq and SnapshotBytesFetched describe the last
+	// snapshot swapped in.
+	Reseeds              int64  `json:"reseeds,omitempty"`
+	ReseedAttempts       int64  `json:"reseed_attempts,omitempty"`
+	SeedSeq              uint64 `json:"seed_seq,omitempty"`
+	SnapshotBytesFetched int64  `json:"snapshot_bytes_fetched,omitempty"`
+	// LastReseedError is the most recent re-seed failure, "" after success.
+	LastReseedError string `json:"last_reseed_error,omitempty"`
 	// LastContactMS is how long ago the primary last answered (-1: never).
 	LastContactMS float64 `json:"last_contact_ms"`
 	// LastError is the current replication failure, "" while healthy.
 	LastError string `json:"last_error,omitempty"`
 	// Gone reports that the primary rotated its log past this follower's
-	// position: polling cannot catch up; the follower needs re-seeding.
+	// position: polling cannot catch up until a re-seed completes.
 	Gone bool `json:"gone,omitempty"`
 }
 
@@ -390,13 +682,22 @@ func (r *replicator) status() *replicationStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := &replicationStatus{
-		Primary:        r.s.cfg.FollowURL,
-		AppliedSeq:     applied,
-		PrimaryHeadSeq: r.primaryHead,
-		Attempts:       r.attempts,
-		EntriesApplied: r.applied,
-		LastContactMS:  -1,
-		Gone:           r.gone,
+		Primary:              r.s.cfg.FollowURL,
+		State:                "tailing",
+		AppliedSeq:           applied,
+		PrimaryHeadSeq:       r.primaryHead,
+		Attempts:             r.attempts,
+		EntriesApplied:       r.applied,
+		ProtocolErrors:       r.protocolErrs,
+		Reseeds:              r.reseeds,
+		ReseedAttempts:       r.reseedTries,
+		SeedSeq:              r.seedSeq,
+		SnapshotBytesFetched: r.seedBytes,
+		LastContactMS:        -1,
+		Gone:                 r.gone,
+	}
+	if r.gone {
+		st.State = "reseeding"
 	}
 	if r.primaryHead > applied {
 		st.Lag = r.primaryHead - applied
@@ -406,6 +707,9 @@ func (r *replicator) status() *replicationStatus {
 	}
 	if r.lastErr != nil {
 		st.LastError = r.lastErr.Error()
+	}
+	if r.lastReseedErr != nil {
+		st.LastReseedError = r.lastReseedErr.Error()
 	}
 	return st
 }

@@ -416,8 +416,10 @@ func TestFollowerBackoffAndResumeAcrossPrimaryRestart(t *testing.T) {
 
 func TestFollowerFlagsRotatedAwayPrimary(t *testing.T) {
 	// A primary that rotated its log past the follower's position can
-	// never catch it up by polling; the follower reports "gone" and
-	// degrades instead of looping forever.
+	// never catch it up by polling; the follower switches to re-seeding.
+	// This one answers 410 to /snapshot too (rotation enabled but the
+	// checkpoint file lost), so the re-seed keeps failing — the follower
+	// must stay degraded, keep retrying, and keep serving.
 	gone := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(headerWALBase, "100")
 		w.Header().Set(headerWALHead, "120")
@@ -433,6 +435,18 @@ func TestFollowerFlagsRotatedAwayPrimary(t *testing.T) {
 	var h healthResponse
 	if err := json.Unmarshal(hb, &h); err != nil || h.Status != "degraded" || !h.Replication.Gone {
 		t.Fatalf("gone health = %s (%v)", hb, err)
+	}
+	// The replicator is in the re-seed state and accounting its failures.
+	waitUntil(t, 5*time.Second, "reseed attempts", func() bool {
+		st := fsrv.repl.status()
+		return st.State == "reseeding" && st.ReseedAttempts >= 1 && st.LastReseedError != ""
+	})
+	if st := fsrv.repl.status(); st.Reseeds != 0 {
+		t.Fatalf("reseed against a snapshot-less primary succeeded: %+v", st)
+	}
+	// Still answering queries the whole time.
+	if code, _, _ := getQuery(t, fts.URL, "q="+matchAll); code != 200 {
+		t.Fatalf("follower stopped serving while stuck re-seeding: %d", code)
 	}
 }
 

@@ -15,8 +15,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,6 +49,25 @@ type Config struct {
 	// WALSyncWindow batches WAL fsyncs over this group-commit window
 	// (0: fsync per insert, shared between concurrent inserters).
 	WALSyncWindow time.Duration
+	// CheckpointEveryEntries and CheckpointEveryBytes arm the automatic
+	// checkpoint policy on a WALPath server: once the log holds at least
+	// this many entries (or bytes), a background round compacts the index,
+	// snapshots it to CheckpointPath, and rotates the log. Either bound
+	// fires the policy; both zero leaves it off. Requires WALPath.
+	CheckpointEveryEntries int
+	CheckpointEveryBytes   int64
+	// CheckpointPath is where checkpoints are written and served from
+	// (GET /snapshot), and where a restart — primary or durable follower —
+	// looks for a snapshot to seed the index before WAL replay. Defaults to
+	// WALPath + ".ckpt" when the checkpoint policy is armed or the server
+	// is a durable follower.
+	CheckpointPath string
+	// CheckpointPoll is how often the checkpoint policy samples the WAL
+	// (default 1s).
+	CheckpointPoll time.Duration
+	// SnapshotMaxConcurrent bounds concurrent GET /snapshot downloads
+	// (default 2); excess requests get 429 + Retry-After.
+	SnapshotMaxConcurrent int
 	// FollowURL makes the server a read-only follower of the primary at
 	// this base URL (e.g. "http://primary:8080"): it tails GET /wal,
 	// applies every entry, answers queries, and rejects POST /insert with
@@ -90,6 +111,11 @@ type Config struct {
 	Chaos Chaos
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// testSnapshotBody, when set, wraps the snapshot download stream a
+	// re-seeding follower reads — the chaos tests' corruption injection
+	// point. Called once per download attempt.
+	testSnapshotBody func(io.Reader) io.Reader
 }
 
 func (c *Config) applyDefaults() {
@@ -120,6 +146,12 @@ func (c *Config) applyDefaults() {
 	if c.WALPollWait <= 0 {
 		c.WALPollWait = 25 * time.Second
 	}
+	if c.CheckpointPoll <= 0 {
+		c.CheckpointPoll = time.Second
+	}
+	if c.SnapshotMaxConcurrent <= 0 {
+		c.SnapshotMaxConcurrent = 2
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -130,9 +162,11 @@ func (c *Config) applyDefaults() {
 // the http.Server (or httptest.Server) in front of it.
 type Server struct {
 	cfg     Config
-	swap    *xseq.Swapper       // static mode only
-	dyn     *xseq.DynamicIndex  // primary and follower modes only
-	repl    *replicator         // follower mode only
+	swap    *xseq.Swapper      // static mode only
+	dyn     *xseq.DynamicIndex // primary and follower modes only
+	repl    *replicator        // follower mode only
+	ckpt    *checkpointer      // checkpoint policy, when armed
+	snapSem chan struct{}      // bounds concurrent /snapshot downloads
 	gate    *gate
 	dr      *drainer
 	handler http.Handler
@@ -171,6 +205,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IndexPath != "" && (cfg.WALPath != "" || cfg.FollowURL != "") {
 		return nil, fmt.Errorf("server: Config.IndexPath is mutually exclusive with WALPath/FollowURL")
 	}
+	ckptArmed := cfg.CheckpointEveryEntries > 0 || cfg.CheckpointEveryBytes > 0
+	if ckptArmed && cfg.WALPath == "" {
+		return nil, fmt.Errorf("server: the checkpoint policy requires Config.WALPath (nothing to rotate without a log)")
+	}
+	if cfg.CheckpointPath != "" && cfg.WALPath == "" && cfg.FollowURL == "" {
+		return nil, fmt.Errorf("server: Config.CheckpointPath requires WALPath or FollowURL")
+	}
+	if cfg.CheckpointPath == "" && cfg.WALPath != "" && (ckptArmed || cfg.FollowURL != "") {
+		// Armed primaries need somewhere to write; durable followers need
+		// somewhere to keep a downloaded seed across restarts.
+		cfg.CheckpointPath = cfg.WALPath + ".ckpt"
+	}
 	s := &Server{
 		cfg:     cfg,
 		gate:    newGate(cfg.MaxConcurrent, cfg.MaxQueue),
@@ -179,9 +225,28 @@ func New(cfg Config) (*Server, error) {
 	}
 	switch {
 	case cfg.FollowURL != "" || cfg.WALPath != "":
-		dyn, err := xseq.BuildDynamic(nil, xseq.Config{
+		// A checkpoint on disk seeds the index before WAL replay: load it,
+		// start from its corpus, and let replay supply everything newer.
+		// Entries the snapshot already covers are skipped during replay.
+		var seed []*xseq.Document
+		var seedErr error
+		if cfg.CheckpointPath != "" {
+			if _, statErr := os.Stat(cfg.CheckpointPath); statErr == nil {
+				ix, err := xseq.LoadFile(cfg.CheckpointPath)
+				if err == nil {
+					seed, err = ix.StoredDocuments()
+				}
+				if err != nil {
+					seedErr = fmt.Errorf("checkpoint %s: %w", cfg.CheckpointPath, err)
+				} else {
+					cfg.Logf("server: seeded %d documents from checkpoint %s", len(seed), cfg.CheckpointPath)
+				}
+			}
+		}
+		dyn, err := xseq.BuildDynamic(seed, xseq.Config{
 			Shards:            cfg.ExpectShards,
 			QueryCacheEntries: cfg.QueryCacheEntries,
+			KeepDocuments:     ckptArmed || cfg.CheckpointPath != "",
 			WALPath:           cfg.WALPath,
 			WALStrict:         cfg.WALStrict,
 			WALSyncWindow:     cfg.WALSyncWindow,
@@ -189,11 +254,32 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: dynamic index: %w", err)
 		}
+		if seedErr != nil {
+			if st := dyn.WALStats(); st != nil && st.BaseSeq > 0 {
+				// The log was rotated against that checkpoint: replay alone
+				// cannot reconstruct the entries the rotation dropped.
+				// Starting anyway would silently serve a truncated corpus.
+				dyn.Close()
+				return nil, fmt.Errorf("server: wal %s was rotated against an unreadable checkpoint: %w", cfg.WALPath, seedErr)
+			}
+			// The log still holds history from seq 1; replay recovered
+			// everything and the bad checkpoint will be overwritten.
+			cfg.Logf("server: ignoring unreadable checkpoint (wal replay covers full history): %v", seedErr)
+		}
 		s.dyn = dyn
 		if st := dyn.WALStats(); st != nil && st.ReplayedEntries > 0 {
 			cfg.Logf("server: wal %s replayed %d entries to seq %d (truncated %d torn bytes)",
 				st.Path, st.ReplayedEntries, st.LastSeq, st.ReplayTruncatedBytes)
 		}
+		if ckptArmed {
+			s.ckpt = newCheckpointer(s)
+			if seed != nil && seedErr == nil {
+				if st := dyn.WALStats(); st != nil {
+					s.ckpt.seed(cfg.CheckpointPath, st.BaseSeq)
+				}
+			}
+		}
+		s.snapSem = make(chan struct{}, cfg.SnapshotMaxConcurrent)
 	default:
 		if cfg.IndexPath == "" {
 			return nil, fmt.Errorf("server: one of Config.IndexPath, WALPath, FollowURL is required")
@@ -217,10 +303,14 @@ func New(cfg Config) (*Server, error) {
 		s.repl = newReplicator(s)
 		go s.repl.run(s.baseCtx)
 	}
+	if s.ckpt != nil {
+		go s.ckpt.run(s.baseCtx)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/wal", s.handleWAL)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -235,6 +325,9 @@ func (s *Server) Close() error {
 	s.cancel()
 	if s.repl != nil {
 		s.repl.wait()
+	}
+	if s.ckpt != nil {
+		s.ckpt.wait()
 	}
 	if s.dyn != nil {
 		return s.dyn.Close()
@@ -449,6 +542,8 @@ type statsResponse struct {
 	Ingest *ingestStat `json:"ingest,omitempty"`
 	// Durability is present whenever the index runs over a write-ahead log.
 	Durability *durabilityStat `json:"durability,omitempty"`
+	// Checkpoint is present when the automatic checkpoint policy is armed.
+	Checkpoint *checkpointStat `json:"checkpoint,omitempty"`
 	// Replication is present in follower mode.
 	Replication *replicationStatus `json:"replication,omitempty"`
 	Queries     int64              `json:"queries"`
@@ -626,6 +721,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Ingest = s.ingestStat()
 	resp.Durability = s.durabilityStat()
+	if s.ckpt != nil {
+		resp.Checkpoint = s.ckpt.stat()
+	}
 	resp.Replication = s.replicationStat()
 	resp.Queries = s.queries.Load()
 	resp.Errors = s.queryErrors.Load()
@@ -657,6 +755,10 @@ type healthResponse struct {
 	// CompactionError is the most recent compaction failure (the index
 	// keeps serving and retries).
 	CompactionError string `json:"compaction_error,omitempty"`
+	// CheckpointError is the most recent automatic-checkpoint failure
+	// (serving continues over the unrotated log; the policy retries with
+	// backoff).
+	CheckpointError string `json:"checkpoint_error,omitempty"`
 	// Replication carries the follower's lag and connection condition.
 	Replication *replicationStatus `json:"replication,omitempty"`
 	Draining    bool               `json:"draining"`
@@ -684,6 +786,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		if st := s.dyn.WALStats(); st != nil && st.LastError != "" {
 			resp.WALError = st.LastError
+			resp.Status = "degraded"
+		}
+	}
+	if s.ckpt != nil {
+		if st := s.ckpt.stat(); st.LastError != "" {
+			resp.CheckpointError = st.LastError
 			resp.Status = "degraded"
 		}
 	}

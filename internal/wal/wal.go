@@ -450,6 +450,14 @@ func (w *WAL) ReadFrames(from uint64, maxBytes int) (frames []byte, count int, l
 	return frames, count, last, nil
 }
 
+// testHookRotateAfterRename, when non-nil, runs inside Rotate between the
+// staged file's rename and the directory fsync — the crash window tests
+// inject failures into. A non-nil return aborts Rotate the way a crash
+// would: the on-disk log is already the new file while the in-memory WAL
+// still describes the old one, so the test must discard the WAL and
+// reopen from disk, exactly like a restarted process.
+var testHookRotateAfterRename func() error
+
 // Rotate checkpoints the log at appliedSeq: entries with seq <= appliedSeq
 // — now durable in a compacted snapshot — are dropped by writing a fresh
 // log (new header with base appliedSeq, the surviving entries copied
@@ -514,6 +522,12 @@ func (w *WAL) Rotate(appliedSeq uint64) error {
 		tmp.Close()
 		return fmt.Errorf("wal: rotate %s: %w", w.path, err)
 	}
+	if h := testHookRotateAfterRename; h != nil {
+		if err := h(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
 	if err := syncDir(w.path); err != nil {
 		tmp.Close()
 		return err
@@ -533,6 +547,64 @@ func (w *WAL) Rotate(appliedSeq uint64) error {
 	if w.syncedSeq < appliedSeq {
 		w.syncedSeq = appliedSeq
 	}
+	w.sc.Unlock()
+	w.rotations.Add(1)
+	return nil
+}
+
+// Reset replaces the log wholesale with a fresh, empty one whose
+// checkpoint base is base — the follower's re-seed primitive. Once a
+// snapshot covering every entry up to base is installed, nothing in the
+// local log is worth keeping: entries at or below base are redundant with
+// the snapshot, and a follower lagging far enough to need a snapshot has
+// nothing above it. The swap uses the same staged write + rename +
+// directory-fsync discipline as Rotate, so a crash at any point leaves
+// either the old complete log or the new empty one.
+//
+// Unlike Rotate, Reset clears a sticky fsync error: the durability
+// promises the old file could no longer keep die with that file, and the
+// fresh one starts with no outstanding obligations.
+func (w *WAL) Reset(base uint64) error {
+	w.fsMu.Lock()
+	defer w.fsMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	tmpPath := w.path + ".rotating"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reset %s: %w", w.path, err)
+	}
+	defer os.Remove(tmpPath) // no-op after the rename succeeds
+	if _, err := tmp.Write(encodeHeader(base)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: reset %s: %w", w.path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: reset %s: %w", w.path, err)
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: reset %s: %w", w.path, err)
+	}
+	if err := syncDir(w.path); err != nil {
+		tmp.Close()
+		return err
+	}
+	old := w.f
+	w.f = tmp
+	old.Close()
+	w.seqs, w.offs = nil, nil
+	w.baseSeq, w.lastSeq = base, base
+	w.size = headerSize
+	w.sc.Lock()
+	w.syncedSeq = base
+	w.syncedSize = headerSize
+	w.syncErr = nil
+	w.cond.Broadcast()
 	w.sc.Unlock()
 	w.rotations.Add(1)
 	return nil

@@ -1016,9 +1016,11 @@ func (d *DynamicIndex) WaitWALSynced(ctx context.Context, seq uint64) (err error
 // ApplyReplicated applies one replicated WAL entry — a (seq, payload)
 // frame read from a primary's stream — to a follower index. Entries must
 // arrive in sequence order (seq == AppliedSeq()+1); the payload is decoded
-// exactly as local replay would. If this index has its own WAL, the entry
-// is logged under the primary's sequence number before it is applied, so
-// the follower's durability matches its acknowledgement.
+// exactly as local replay would, and an entry whose document the corpus
+// already holds (snapshot-seed overlap) advances the position without
+// re-applying. If this index has its own WAL, an applied entry is logged
+// under the primary's sequence number before it is applied, so the
+// follower's durability matches its acknowledgement.
 func (d *DynamicIndex) ApplyReplicated(ctx context.Context, seq uint64, payload []byte) (err error) {
 	defer guard(&err)
 	if want := d.d.AppliedSeq() + 1; seq != want {
@@ -1028,7 +1030,54 @@ func (d *DynamicIndex) ApplyReplicated(ctx context.Context, seq uint64, payload 
 	if err != nil {
 		return err
 	}
+	if d.d.Contains(doc.ID) {
+		// The entry predates the snapshot seed: a checkpoint can cover more
+		// than its advertised sequence number (the primary crashed between
+		// snapshot save and log rotation), so the stream's first entries may
+		// duplicate seeded documents. Advance the position without applying —
+		// exactly what local replay does with such entries.
+		return d.d.SkipReplicated(seq)
+	}
 	return d.d.InsertContext(ctx, doc)
+}
+
+// ReseedFromSnapshot replaces this index's entire state with a loaded
+// checkpoint snapshot: the snapshot's engine becomes the new main engine,
+// its stored corpus the new corpus, and seq — the WAL sequence number the
+// snapshot covers, advertised by the primary alongside it — the new
+// replication position. This is the follower's escape from ErrWALRotated:
+// when the primary's log no longer reaches back to the follower's
+// position, only a snapshot can.
+//
+// The snapshot must carry its corpus (built with Config.KeepDocuments,
+// which checkpointing primaries arm); without it later compactions would
+// be impossible. On any error the index keeps serving its old state
+// untouched. A local WAL is reset to an empty log based at seq — its
+// entries are all at or below seq and therefore redundant with the
+// snapshot; callers that seed restarts from a checkpoint file should
+// persist the downloaded snapshot under their own checkpoint path before
+// calling. ix is consumed: do not use it after a successful call.
+func (d *DynamicIndex) ReseedFromSnapshot(ix *Index, seq uint64) (err error) {
+	defer guard(&err)
+	if ix == nil {
+		return fmt.Errorf("xseq: reseed from nil snapshot")
+	}
+	eng := ix.baseEngine()
+	docs := eng.Documents()
+	if docs == nil && eng.NumDocuments() > 0 {
+		return fmt.Errorf("xseq: reseed snapshot was built without Config.KeepDocuments")
+	}
+	if d.w != nil {
+		// The log goes first: if the engine swap below then fails, the
+		// served state is behind the log base, the next poll gets another
+		// 410, and the re-seed simply runs again — whereas swapping the
+		// engine first could acknowledge inserts a crashed restart replays
+		// from a log that no longer matches.
+		if err := d.w.Reset(seq); err != nil {
+			return err
+		}
+	}
+	return d.d.ResetTo(eng, docs, seq)
 }
 
 // Checkpoint is CheckpointContext with context.Background().
@@ -1044,22 +1093,33 @@ func (d *DynamicIndex) Checkpoint(path string) error {
 // BuildDynamic). A crash between the snapshot and the rotation leaves an
 // overlap that replay skips; a crash before the snapshot leaves the full
 // log. Without a WAL, CheckpointContext is compact + save.
-func (d *DynamicIndex) CheckpointContext(ctx context.Context, path string) (err error) {
+func (d *DynamicIndex) CheckpointContext(ctx context.Context, path string) error {
+	_, err := d.CheckpointAt(ctx, path)
+	return err
+}
+
+// CheckpointAt is CheckpointContext returning the WAL sequence number the
+// written snapshot covers — what a serving layer advertises alongside the
+// snapshot (X-Snapshot-Seq) so a re-seeding follower knows where to resume
+// tailing.
+func (d *DynamicIndex) CheckpointAt(ctx context.Context, path string) (seq uint64, err error) {
 	defer guard(&err)
 	seq, main, err := d.d.CompactForCheckpoint(ctx)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if main == nil {
-		return fmt.Errorf("xseq: checkpoint of an empty index")
+		return 0, fmt.Errorf("xseq: checkpoint of an empty index")
 	}
 	if err := main.SaveFile(path); err != nil {
-		return err
+		return 0, err
 	}
 	if d.w != nil {
-		return d.w.Rotate(seq)
+		if err := d.w.Rotate(seq); err != nil {
+			return 0, err
+		}
 	}
-	return nil
+	return seq, nil
 }
 
 // Close releases the write-ahead log (flushing its final group commit);

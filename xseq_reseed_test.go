@@ -1,0 +1,191 @@
+package xseq
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"xseq/internal/wal"
+	"xseq/internal/xmltree"
+)
+
+// innerDoc converts a facade Document to the internal tree the WAL codec
+// speaks, mirroring what the serving path encodes.
+func innerDoc(d *Document) *xmltree.Document {
+	return &xmltree.Document{ID: d.id, Root: d.root}
+}
+
+func TestCheckpointAtReturnsRotationSeq(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{WALPath: filepath.Join(dir, "ingest.wal"), KeepDocuments: true}
+	dyn, err := BuildDynamic(nil, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dyn.Close()
+	for i := int32(0); i < 5; i++ {
+		if err := dyn.Insert(walDoc(t, i, "boston")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapPath := filepath.Join(dir, "index.snap")
+	seq, err := dyn.CheckpointAt(context.Background(), snapPath)
+	if err != nil {
+		t.Fatalf("CheckpointAt: %v", err)
+	}
+	if seq != 5 {
+		t.Fatalf("checkpoint seq = %d, want 5", seq)
+	}
+	st := dyn.WALStats()
+	if st.BaseSeq != 5 || st.Entries != 0 {
+		t.Fatalf("wal after checkpoint: base %d entries %d", st.BaseSeq, st.Entries)
+	}
+	snap, err := LoadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs, err := snap.StoredDocuments(); err != nil || len(docs) != 5 {
+		t.Fatalf("snapshot docs = %d (%v), want 5", len(docs), err)
+	}
+}
+
+// TestReseedFromSnapshot walks the follower's self-healing swap at the
+// facade level: an out-of-date index over its own WAL is replaced
+// wholesale by a primary's checkpoint, resumes replication right above
+// the snapshot's seq, and skips entries the snapshot already covers.
+func TestReseedFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// Primary: 8 documents, checkpointed.
+	primary, err := BuildDynamic(nil, Config{
+		WALPath: filepath.Join(dir, "primary.wal"), KeepDocuments: true,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	for i := int32(0); i < 8; i++ {
+		if err := primary.Insert(walDoc(t, i, "boston")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapPath := filepath.Join(dir, "seed.snap")
+	seq, err := primary.CheckpointAt(ctx, snapPath)
+	if err != nil || seq != 8 {
+		t.Fatalf("CheckpointAt = (%d, %v)", seq, err)
+	}
+
+	// Follower: stuck at a stale, divergent position it can never tail
+	// out of.
+	followerWAL := filepath.Join(dir, "follower.wal")
+	follower, err := BuildDynamic(nil, Config{WALPath: followerWAL}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	for i := int32(100); i < 103; i++ {
+		if err := follower.Insert(walDoc(t, i, "stale")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap, err := LoadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ReseedFromSnapshot(snap, seq); err != nil {
+		t.Fatalf("ReseedFromSnapshot: %v", err)
+	}
+	if follower.NumDocuments() != 8 || follower.AppliedSeq() != 8 {
+		t.Fatalf("after reseed docs=%d seq=%d, want 8/8", follower.NumDocuments(), follower.AppliedSeq())
+	}
+	if ids, err := follower.Query("//L[text='boston']"); err != nil || len(ids) != 8 {
+		t.Fatalf("reseeded query = %v (%v), want 8 hits", ids, err)
+	}
+	if ids, _ := follower.Query("//L[text='stale']"); len(ids) != 0 {
+		t.Fatalf("stale documents survived the reseed: %v", ids)
+	}
+	if st := follower.WALStats(); st.BaseSeq != 8 || st.Entries != 0 {
+		t.Fatalf("follower wal after reseed: base %d entries %d, want 8/0", st.BaseSeq, st.Entries)
+	}
+
+	// Replication resumes above the snapshot. An entry whose document the
+	// snapshot already carries (the checkpoint covered more than the
+	// advertised seq) is skipped, not a duplicate failure.
+	overlap := walDoc(t, 7, "boston") // id 7 is in the snapshot
+	payload, err := wal.EncodeDocument(innerDoc(overlap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyReplicated(ctx, 9, payload); err != nil {
+		t.Fatalf("apply overlapping seq 9: %v", err)
+	}
+	if follower.AppliedSeq() != 9 || follower.NumDocuments() != 8 {
+		t.Fatalf("overlap skip: docs=%d seq=%d, want 8/9", follower.NumDocuments(), follower.AppliedSeq())
+	}
+	fresh := walDoc(t, 8, "chicago")
+	payload, err = wal.EncodeDocument(innerDoc(fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyReplicated(ctx, 10, payload); err != nil {
+		t.Fatalf("apply fresh seq 10: %v", err)
+	}
+	if follower.NumDocuments() != 9 || follower.AppliedSeq() != 10 {
+		t.Fatalf("resume: docs=%d seq=%d, want 9/10", follower.NumDocuments(), follower.AppliedSeq())
+	}
+
+	// A follower restart over the reset log resumes from the reseeded
+	// position (the reseed state itself lives in the snapshot on the
+	// serving path; here the log alone carries seqs 9-10 over base 8).
+	follower.Close()
+	back, err := BuildDynamic(nil, Config{WALPath: followerWAL}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.AppliedSeq() != 10 {
+		t.Fatalf("restart applied seq = %d, want 10", back.AppliedSeq())
+	}
+}
+
+func TestReseedFromSnapshotWithoutCorpusFails(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	primary, err := BuildDynamic(nil, Config{
+		WALPath: filepath.Join(dir, "primary.wal"), // no KeepDocuments
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	if err := primary.Insert(walDoc(t, 1, "boston")); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "bare.snap")
+	seq, err := primary.CheckpointAt(ctx, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	follower, err := BuildDynamic(nil, Config{WALPath: filepath.Join(dir, "follower.wal")}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	if err := follower.Insert(walDoc(t, 50, "keepme")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ReseedFromSnapshot(snap, seq); err == nil {
+		t.Fatal("reseed from a corpus-less snapshot succeeded")
+	}
+	// The old serving state survives a refused reseed.
+	if ids, err := follower.Query("//L[text='keepme']"); err != nil || len(ids) != 1 {
+		t.Fatalf("old state after refused reseed = %v (%v)", ids, err)
+	}
+}
