@@ -50,14 +50,20 @@ func TestQueryAllocsAllLayouts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	flat, err := Build(docs, Config{Layout: LayoutFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	queries := []string{"/n0", "/n0/n1", "//n2", "/n0/*"}
 
 	// Bounds are per-layout constants: the sharded fan-out spawns one
 	// goroutine per shard and merges per-shard results, so its fixed cost
 	// is O(shards) allocations on top of the monolithic kernel's; the
-	// dynamic engine with an empty delta adds only its dispatch. Parsing
-	// the query string is included (a handful of pattern nodes).
+	// dynamic engine with an empty delta adds only its dispatch; the flat
+	// engine reads the mapped bytes through the same pooled scratch as the
+	// monolithic kernel, so it shares its bound. Parsing the query string
+	// is included (a handful of pattern nodes).
 	layouts := []struct {
 		name  string
 		query queryFn
@@ -66,6 +72,7 @@ func TestQueryAllocsAllLayouts(t *testing.T) {
 		{"monolithic", mono.Query, 60},
 		{"sharded", sharded.Query, 160},
 		{"dynamic", dyn.Query, 60},
+		{"flat", flat.Query, 60},
 	}
 	for _, l := range layouts {
 		for _, q := range queries {
@@ -131,7 +138,11 @@ func TestScratchPoolHammerLayouts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	queryFns := []queryFn{mono.Query, sharded.Query, dyn.Query}
+	flat, err := Build(docs, Config{Layout: LayoutFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryFns := []queryFn{mono.Query, sharded.Query, dyn.Query, flat.Query}
 	queries := []string{"/n0", "/n0/n1", "//n2", "/n0/*"}
 
 	want := make([][]int32, len(queries))

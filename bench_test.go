@@ -270,3 +270,11 @@ func BenchmarkQueryAllocsDynamic(b *testing.B) {
 	}
 	benchQueryAllocs(b, "//n2", ix.Query)
 }
+
+func BenchmarkQueryAllocsFlat(b *testing.B) {
+	ix, err := Build(allocDocs(b, 200), Config{Layout: LayoutFlat})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchQueryAllocs(b, "//n2", ix.Query)
+}

@@ -137,6 +137,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "xseqbench: cached results diverged from uncached")
 			os.Exit(exitData)
 		}
+		if !res.FlatEquivalent {
+			fmt.Fprintln(os.Stderr, "xseqbench: flat results diverged from monolithic")
+			os.Exit(exitData)
+		}
 		return
 	}
 

@@ -118,6 +118,7 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget before in-flight queries are cancelled")
 		watch    = flag.Duration("watch", 0, "poll the snapshot file at this interval and hot-reload on change (0 = SIGHUP only)")
 		shards   = flag.Int("shards", 0, "require the snapshot (and every reload) to have exactly this many shards (0 = accept any layout)")
+		layout   = flag.String("layout", "", "require the snapshot (and every reload) to have this layout: monolithic, sharded, or flat (\"\" = accept any)")
 		workers  = flag.Int("workers", 0, "cap OS threads executing Go code, the parallelism of sharded query fan-out (0 = GOMAXPROCS default)")
 		qcache   = flag.Int("query-cache", 0, "cache up to this many query results per snapshot, invalidated on reload (0 = no cache); hit rates in /stats")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it private — off by default")
@@ -156,6 +157,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xseqd: -shards, -workers, and -query-cache must be >= 0")
 		os.Exit(exitUsage)
 	}
+	switch *layout {
+	case "", "monolithic", "sharded", "flat":
+	default:
+		fmt.Fprintf(os.Stderr, "xseqd: -layout %q (want monolithic, sharded, or flat)\n", *layout)
+		os.Exit(exitUsage)
+	}
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
 	}
@@ -174,6 +181,7 @@ func main() {
 		DefaultTimeout:         *timeout,
 		MaxTimeout:             *maxTO,
 		ExpectShards:           *shards,
+		ExpectLayout:           *layout,
 		QueryCacheEntries:      *qcache,
 	}
 	if *chaosLatencyEvery > 0 || *chaosErrorEvery > 0 || *chaosPanicEvery > 0 {

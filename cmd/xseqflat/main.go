@@ -1,0 +1,126 @@
+// Command xseqflat converts a saved index snapshot (any heap layout
+// written by xseqquery -saveindex) to the flat single-file format, and
+// verifies existing flat snapshots.
+//
+// Usage:
+//
+//	xseqflat -in corpus.idx -out corpus.flat     # convert heap → flat
+//	xseqflat -check corpus.flat                  # full checksum sweep
+//	xseqflat -in corpus.idx -out c.flat -verify  # convert, reopen, sweep
+//
+// The flat file opens in O(dictionary) time regardless of corpus size and
+// is queried in place through mmap — serve it with `xseqd -index corpus.flat
+// -layout flat`. Converting a sharded snapshot requires it to have been
+// built with KeepDocuments (the corpus is re-indexed as one partition).
+//
+// Exit codes: 0 success, 1 data error (unreadable input, unsupported
+// conversion, write failure), 2 usage, 4 corrupt snapshot.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"xseq"
+)
+
+// Exit codes; see the command doc.
+const (
+	exitOK      = 0
+	exitData    = 1
+	exitUsage   = 2
+	exitCorrupt = 4
+)
+
+// exitCode classifies err: snapshot corruption (permanent — rebuild or
+// restore) gets a distinct code from generic data errors.
+func exitCode(err error) int {
+	var corrupt *xseq.CorruptError
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.As(err, &corrupt):
+		return exitCorrupt
+	default:
+		return exitData
+	}
+}
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input snapshot (monolithic, sharded, or already flat)")
+		out    = flag.String("out", "", "output flat snapshot path (crash-safe: temp + fsync + rename)")
+		check  = flag.String("check", "", "verify this flat snapshot's checksums instead of converting")
+		verify = flag.Bool("verify", false, "after converting, reopen -out and run the full checksum sweep")
+		quiet  = flag.Bool("q", false, "suppress the summary line")
+	)
+	flag.Parse()
+	var summary string
+	var err error
+	switch {
+	case *check != "":
+		if *in != "" || *out != "" {
+			fmt.Fprintln(os.Stderr, "xseqflat: -check stands alone (no -in/-out)")
+			os.Exit(exitUsage)
+		}
+		summary, err = checkFlat(*check)
+	case *in != "" && *out != "":
+		summary, err = convert(*in, *out, *verify)
+	default:
+		fmt.Fprintln(os.Stderr, "xseqflat: need -in and -out (convert) or -check (verify); see -h")
+		os.Exit(exitUsage)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xseqflat: %v\n", err)
+		os.Exit(exitCode(err))
+	}
+	if !*quiet {
+		fmt.Println(summary)
+	}
+}
+
+// checkFlat opens a flat snapshot and runs the full checksum sweep.
+func checkFlat(path string) (string, error) {
+	ix, err := xseq.LoadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	defer ix.Close()
+	if ix.Layout() != xseq.LayoutFlat {
+		return "", fmt.Errorf("%s: layout is %s, not flat (nothing to check — heap snapshots verify at load)", path, ix.Layout())
+	}
+	if err := ix.VerifyIntegrity(); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	st := ix.Stats()
+	return fmt.Sprintf("%s: ok — %d documents, %d index nodes, %d bytes",
+		path, st.Documents, st.IndexNodes, st.Flat.MappedBytes), nil
+}
+
+// convert loads any snapshot and writes it out flat; with verify it reopens
+// the result and runs the full checksum sweep before reporting success.
+func convert(in, out string, verify bool) (string, error) {
+	ix, err := xseq.LoadFile(in)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", in, err)
+	}
+	defer ix.Close()
+	if err := ix.SaveFlatFile(out); err != nil {
+		return "", fmt.Errorf("convert %s: %w", in, err)
+	}
+	flat, err := xseq.LoadFile(out)
+	if err != nil {
+		return "", fmt.Errorf("reopen %s: %w", out, err)
+	}
+	defer flat.Close()
+	if verify {
+		if err := flat.VerifyIntegrity(); err != nil {
+			return "", fmt.Errorf("verify %s: %w", out, err)
+		}
+	}
+	st := flat.Stats()
+	return fmt.Sprintf("%s → %s: %d documents, %d index nodes, %d bytes (%s layout in)",
+		in, out, st.Documents, st.IndexNodes, st.Flat.MappedBytes, ix.Layout()), nil
+}

@@ -1,0 +1,279 @@
+package xseq
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xseq/internal/datagen"
+)
+
+// TestFlatEquivalence is the acceptance suite for the flat layout: built
+// with Config{Layout: LayoutFlat}, an index must return exactly the sorted
+// document ids the monolithic index returns — plain, verified, explained,
+// and limit queries — over both test corpora.
+func TestFlatEquivalence(t *testing.T) {
+	cases := []struct {
+		corpus  string
+		queries []string
+	}{
+		{"xmark", []string{
+			datagen.XMarkQ1,
+			datagen.XMarkQ2,
+			datagen.XMarkQ3,
+			"/site//person/name",
+			"//item/location",
+			"//date",
+			"/site/*",
+		}},
+		{"L3F5A25I0P40", []string{
+			"/e1",
+			"/e1/e2",
+			"//e3",
+			"/e1/*",
+			"//e2//*",
+		}},
+	}
+	for _, c := range cases {
+		docs := genCorpus(t, c.corpus, 250)
+		mono, err := Build(docs, Config{KeepDocuments: true})
+		if err != nil {
+			t.Fatalf("%s: monolithic build: %v", c.corpus, err)
+		}
+		fl, err := Build(docs, Config{KeepDocuments: true, Layout: LayoutFlat})
+		if err != nil {
+			t.Fatalf("%s: flat build: %v", c.corpus, err)
+		}
+		if got := fl.Layout(); got != "flat" {
+			t.Fatalf("%s: Layout() = %q, want flat", c.corpus, got)
+		}
+		st := fl.Stats()
+		if st.Documents != len(docs) {
+			t.Fatalf("%s: stats %+v", c.corpus, st)
+		}
+		if st.Flat == nil || st.Flat.MappedBytes == 0 {
+			t.Fatalf("%s: Stats().Flat missing for flat layout: %+v", c.corpus, st.Flat)
+		}
+		for _, q := range c.queries {
+			want, err := mono.Query(q)
+			if err != nil {
+				t.Fatalf("%s: mono %s: %v", c.corpus, q, err)
+			}
+			got, err := fl.Query(q)
+			if err != nil {
+				t.Fatalf("%s: flat %s: %v", c.corpus, q, err)
+			}
+			if !equalIDSlices(got, want) {
+				t.Fatalf("%s: %s: flat %v, monolithic %v", c.corpus, q, got, want)
+			}
+
+			wantV, err := mono.QueryVerified(q)
+			if err != nil {
+				t.Fatalf("%s: mono verified %s: %v", c.corpus, q, err)
+			}
+			gotV, err := fl.QueryVerified(q)
+			if err != nil {
+				t.Fatalf("%s: flat verified %s: %v", c.corpus, q, err)
+			}
+			if !equalIDSlices(gotV, wantV) {
+				t.Fatalf("%s: verified %s: flat %v, monolithic %v", c.corpus, q, gotV, wantV)
+			}
+
+			gotE, _, err := fl.QueryExplain(q)
+			if err != nil {
+				t.Fatalf("%s: explain %s: %v", c.corpus, q, err)
+			}
+			if !equalIDSlices(gotE, want) {
+				t.Fatalf("%s: explain %s: %v, want %v", c.corpus, q, gotE, want)
+			}
+
+			full, err := fl.QueryLimit(q, len(want)+1)
+			if err != nil {
+				t.Fatalf("%s: limit %s: %v", c.corpus, q, err)
+			}
+			if !equalIDSlices(full, want) {
+				t.Fatalf("%s: limit(all) %s: %v, want %v", c.corpus, q, full, want)
+			}
+			if len(want) > 1 {
+				part, err := fl.QueryLimit(q, len(want)-1)
+				if err != nil {
+					t.Fatalf("%s: limit %s: %v", c.corpus, q, err)
+				}
+				if len(part) != len(want)-1 {
+					t.Fatalf("%s: limit(%d) %s returned %d ids", c.corpus, len(want)-1, q, len(part))
+				}
+				members := make(map[int32]bool, len(want))
+				for _, id := range want {
+					members[id] = true
+				}
+				for _, id := range part {
+					if !members[id] {
+						t.Fatalf("%s: limit %s: id %d not in full result", c.corpus, q, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatSnapshotRoundtrip covers the persistence surface: SaveFlatFile
+// from a heap index, LoadFile sniffing the flat magic (the O(dictionary)
+// mapped open), Save/Load stream round-trips of the flat index itself, and
+// the sharded → flat conversion path.
+func TestFlatSnapshotRoundtrip(t *testing.T) {
+	docs := genCorpus(t, "xmark", 120)
+	mono, err := Build(docs, Config{KeepDocuments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.flat")
+	if err := mono.SaveFlatFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Layout() != "flat" {
+		t.Fatalf("reloaded layout %q, want flat", back.Layout())
+	}
+	if err := back.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream round-trip: SaveFlat → Load sniffs the flat magic; the flat
+	// index's own Save re-emits the identical bytes.
+	var buf bytes.Buffer
+	if err := mono.SaveFlat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := back2.SaveFlat(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("flat SaveFlat of a flat index did not reproduce the bytes")
+	}
+
+	// Sharded → flat conversion rebuilds from the retained corpus.
+	sh, err := Build(docs, Config{Shards: 3, KeepDocuments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shPath := filepath.Join(dir, "from-sharded.flat")
+	if err := sh.SaveFlatFile(shPath); err != nil {
+		t.Fatal(err)
+	}
+	back3, err := LoadFile(shPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back3.Close()
+
+	// Without retained documents the conversion refuses with ErrUnsupported.
+	shBare, err := Build(docs, Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shBare.SaveFlat(&bytes.Buffer{}); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("sharded-without-docs SaveFlat error = %v, want ErrUnsupported", err)
+	}
+
+	for _, q := range []string{datagen.XMarkQ1, "//date", "/site/*"} {
+		want, _ := mono.Query(q)
+		for i, ix := range []*Index{back, back2, back3} {
+			got, err := ix.Query(q)
+			if err != nil {
+				t.Fatalf("copy %d: %s: %v", i, q, err)
+			}
+			if !equalIDSlices(got, want) {
+				t.Fatalf("copy %d: %s: %v, want %v", i, q, got, want)
+			}
+		}
+	}
+}
+
+// TestFlatBuildConfigValidation: Layout is validated up front.
+func TestFlatBuildConfigValidation(t *testing.T) {
+	docs := genCorpus(t, "xmark", 5)
+	if _, err := Build(docs, Config{Layout: "zoned"}); err == nil {
+		t.Fatal("unknown Layout accepted")
+	}
+	if _, err := Build(docs, Config{Layout: LayoutFlat, Shards: 2}); err == nil {
+		t.Fatal("Layout=flat with Shards>1 accepted")
+	}
+}
+
+// TestFlatCorruptSnapshot: a damaged flat snapshot never displaces a
+// serving one. Damage in the dictionary head fails LoadFile itself; damage
+// in the bulk sections passes the O(dictionary) open but is caught by the
+// Swapper's full verification sweep before publishing. Either way the old
+// snapshot keeps answering.
+func TestFlatCorruptSnapshot(t *testing.T) {
+	docs := genCorpus(t, "xmark", 60)
+	mono, err := Build(docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.flat")
+	if err := mono.SaveFlatFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwapper(good)
+	// Replacements arrive by atomic rename (SaveFlatFile's contract): the
+	// serving snapshot mmaps the old inode, which an in-place overwrite
+	// would mutate underneath it.
+	replace := func(data []byte) {
+		t.Helper()
+		tmp := path + ".next"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip a bit at several depths: header, dictionary head, bulk payload.
+	for _, off := range []int{9, len(blob) / 8, len(blob) / 2, len(blob) - 4} {
+		mut := bytes.Clone(blob)
+		mut[off] ^= 0x20
+		replace(mut)
+		cur, err := sw.SwapFromFile(path)
+		if err == nil {
+			t.Fatalf("flip at %d: SwapFromFile accepted a corrupt flat snapshot", off)
+		}
+		var corrupt *CorruptError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("flip at %d: error %v, want *CorruptError", off, err)
+		}
+		if cur != good || sw.Current() != good {
+			t.Fatalf("flip at %d: corrupt reload displaced the serving snapshot", off)
+		}
+		if _, err := sw.Current().QueryContext(context.Background(), "//date"); err != nil {
+			t.Fatalf("flip at %d: surviving snapshot cannot answer: %v", off, err)
+		}
+	}
+	// Intact file swaps in fine afterwards.
+	replace(blob)
+	if _, err := sw.SwapFromFile(path); err != nil {
+		t.Fatalf("intact snapshot rejected: %v", err)
+	}
+}

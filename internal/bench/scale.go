@@ -4,13 +4,17 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"slices"
 	"time"
 
 	"xseq/internal/datagen"
 	"xseq/internal/engine"
+	"xseq/internal/flat"
 	"xseq/internal/index"
+	"xseq/internal/pager"
 	"xseq/internal/pathenc"
 	"xseq/internal/qcache"
 	"xseq/internal/query"
@@ -84,6 +88,26 @@ type ScaleResult struct {
 	CacheHits          int64 `json:"cache_hits"`
 	CacheMisses        int64 `json:"cache_misses"`
 	CacheEquivalent    bool  `json:"cache_equivalent"`
+
+	// Flat-layout pass: the monolithic image persisted in both formats,
+	// each timed through a cold open. The heap load decodes the whole index
+	// into memory; the flat open only reads its dictionary head and maps
+	// the rest, so FlatLoadNS stays O(dictionary) as Records grows — the
+	// open-time gap is the flat format's point. FlatBytesResident counts
+	// the distinct 4 KiB pages the sampled queries touched (page-accounting
+	// attached), against FlatBytesMapped, the whole file. FlatEquivalent
+	// asserts the flat kernel answered every sampled query exactly like the
+	// monolithic index.
+	MonoSnapshotBytes int64   `json:"mono_snapshot_bytes"`
+	MonoLoadNS        int64   `json:"mono_load_ns"`
+	FlatLoadNS        int64   `json:"flat_load_ns"`
+	FlatBytesMapped   int64   `json:"flat_bytes_mapped"`
+	FlatBytesResident int64   `json:"flat_bytes_resident"`
+	FlatQueryP50NS    int64   `json:"flat_query_p50_ns"`
+	FlatQueryP95NS    int64   `json:"flat_query_p95_ns"`
+	FlatAllocsPerOp   float64 `json:"flat_allocs_per_op"`
+	FlatBytesPerOp    float64 `json:"flat_bytes_per_op"`
+	FlatEquivalent    bool    `json:"flat_equivalent"`
 }
 
 // scaleCorpus generates the named corpus.
@@ -272,7 +296,89 @@ func ShardScale(cfg ScaleConfig) (*ScaleResult, error) {
 	cs := cached.Stats()
 	res.CacheHits = cs.Hits
 	res.CacheMisses = cs.Misses
+
+	if err := flatScale(ctx, mono, pats, res); err != nil {
+		return nil, fmt.Errorf("flat pass: %w", err)
+	}
 	return res, nil
+}
+
+// flatScale runs the flat-layout pass of the benchmark: persist mono in the
+// heap and flat formats, time a cold open of each, then query the flat
+// snapshot through its mmap with page accounting attached.
+func flatScale(ctx context.Context, mono *index.Index, pats []*query.Pattern, res *ScaleResult) error {
+	dir, err := os.MkdirTemp("", "xseqbench-flat-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	monoPath := filepath.Join(dir, "mono.idx")
+	if err := mono.SaveFile(monoPath); err != nil {
+		return err
+	}
+	if fi, err := os.Stat(monoPath); err == nil {
+		res.MonoSnapshotBytes = fi.Size()
+	}
+	loadStart := time.Now()
+	if _, err := index.LoadFile(monoPath); err != nil {
+		return err
+	}
+	res.MonoLoadNS = time.Since(loadStart).Nanoseconds()
+
+	ex, err := mono.Export()
+	if err != nil {
+		return err
+	}
+	flatPath := filepath.Join(dir, "mono.flat")
+	if err := flat.WriteFile(flatPath, ex); err != nil {
+		return err
+	}
+	openStart := time.Now()
+	fl, err := flat.OpenFile(flatPath, flat.Options{})
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+	res.FlatLoadNS = time.Since(openStart).Nanoseconds()
+	res.FlatBytesMapped = fl.MappedBytes()
+
+	if _, err := fl.AttachPager(pager.NewPool(int(fl.TotalPages()))); err != nil {
+		return err
+	}
+	res.FlatEquivalent = true
+	lats := make([]int64, 0, len(pats))
+	for _, p := range pats {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		want, err := mono.QueryContext(ctx, p)
+		if err != nil {
+			return err
+		}
+		qStart := time.Now()
+		got, err := fl.QueryWithContext(ctx, p, engine.QueryOptions{})
+		if err != nil {
+			return fmt.Errorf("flat query %s: %w", p, err)
+		}
+		lats = append(lats, time.Since(qStart).Nanoseconds())
+		if !equalIDs(want, got) {
+			res.FlatEquivalent = false
+		}
+	}
+	slices.Sort(lats)
+	res.FlatQueryP50NS = percentileNS(lats, 50)
+	res.FlatQueryP95NS = percentileNS(lats, 95)
+	res.FlatBytesResident = fl.ResidentPages() * pager.PageSize
+
+	// Alloc profile with the pager detached: page accounting is an
+	// observability instrument, not part of the steady-state query path.
+	fl.DetachPager()
+	res.FlatAllocsPerOp, res.FlatBytesPerOp, err = measureQueryAllocs(ctx, fl, pats)
+	if err != nil {
+		return err
+	}
+	return nil
 }
 
 // measureQueryAllocs reports the steady-state allocation cost (heap

@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestShardScaleFlatPass runs a small ShardScale and checks the flat-layout
+// fields: the flat snapshot must answer equivalently, report real open and
+// size figures, and touch no more pages than the file holds.
+func TestShardScaleFlatPass(t *testing.T) {
+	res, err := ShardScale(ScaleConfig{
+		Dataset: "L3F5A25I0P40",
+		Records: 120,
+		Shards:  2,
+		Queries: 10,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || !res.CacheEquivalent || !res.FlatEquivalent {
+		t.Fatalf("equivalence flags: %+v", res)
+	}
+	if res.MonoLoadNS <= 0 || res.FlatLoadNS <= 0 {
+		t.Fatalf("load timings missing: mono %d, flat %d", res.MonoLoadNS, res.FlatLoadNS)
+	}
+	if res.MonoSnapshotBytes <= 0 || res.FlatBytesMapped <= 0 {
+		t.Fatalf("snapshot sizes missing: mono %d, flat %d", res.MonoSnapshotBytes, res.FlatBytesMapped)
+	}
+	if res.FlatBytesResident <= 0 || res.FlatBytesResident > res.FlatBytesMapped+4095 {
+		t.Fatalf("resident %d bytes outside (0, mapped %d]", res.FlatBytesResident, res.FlatBytesMapped)
+	}
+	if res.FlatQueryP50NS <= 0 || res.FlatQueryP95NS < res.FlatQueryP50NS {
+		t.Fatalf("flat latency distribution: p50 %d, p95 %d", res.FlatQueryP50NS, res.FlatQueryP95NS)
+	}
+	if res.FlatAllocsPerOp <= 0 {
+		t.Fatalf("flat alloc profile missing: %f", res.FlatAllocsPerOp)
+	}
+}

@@ -1,0 +1,238 @@
+package flat
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"xseq/internal/engine"
+	"xseq/internal/index"
+	"xseq/internal/pager"
+	"xseq/internal/pathenc"
+	"xseq/internal/query"
+	"xseq/internal/sequence"
+	"xseq/internal/xmltree"
+)
+
+var _ engine.Engine = (*Index)(nil)
+
+// QueryWithContext answers a tree-pattern query over the mapped snapshot —
+// the same instantiate → enumerate orders → Algorithm 1 pipeline as the
+// heap engines, with identical results. The returned slice is freshly
+// allocated (the engine ownership contract); all transient state lives in
+// the pooled scratch.
+func (ix *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo engine.QueryOptions) ([]int32, error) {
+	var docs []*xmltree.Document
+	if qo.Verify {
+		var err error
+		docs, err = ix.loadDocs()
+		if err != nil {
+			return nil, err
+		}
+		if docs == nil {
+			return nil, fmt.Errorf("flat: Verify requires a snapshot built with KeepDocuments")
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	scr := getScratch(ix.meta.MaxDocID)
+	defer putScratch(scr)
+	insts := pat.InstantiateScratch(ix.enc, ix.ci, ix.meta.InstantiationLimit, &scr.inst)
+	res := resultSet{scr: scr, ids: scr.ids[:0], limit: qo.MaxResults, stats: qo.Stats, ctx: ctx}
+	enumLimit := ix.meta.OrderEnumerationLimit
+	if enumLimit <= 0 {
+		enumLimit = index.DefaultOrderEnumerationLimit
+	}
+	if qo.Stats != nil {
+		qo.Stats.Instances = len(insts)
+	}
+	for _, inst := range insts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if res.full() {
+			break
+		}
+		orders := sequence.EnumerateInstanceOrders(inst.Paths, inst.Parent, ix.prio, enumLimit)
+		if qo.Stats != nil {
+			qo.Stats.Orders += len(orders)
+		}
+		for _, q := range orders {
+			if res.full() {
+				break
+			}
+			ix.search(q, qo.Naive, &res)
+		}
+	}
+	if res.err != nil {
+		return nil, res.err
+	}
+	out := res.take()
+	if qo.Stats != nil {
+		qo.Stats.Results = len(out)
+	}
+	if qo.Verify {
+		byID := make(map[int32]*xmltree.Document, len(docs))
+		for _, d := range docs {
+			byID[d.ID] = d
+		}
+		var kept []int32
+		for _, id := range out {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if d := byID[id]; d != nil && pat.MatchesTree(d.Root) {
+				kept = append(kept, id)
+			}
+		}
+		out = kept
+	}
+	return out, nil
+}
+
+// NumDocuments reports the corpus size.
+func (ix *Index) NumDocuments() int { return ix.meta.NumDocs }
+
+// NumNodes reports the trie node count of the source index.
+func (ix *Index) NumNodes() int { return int(ix.meta.MaxSerial) }
+
+// NumLinks reports the number of non-empty horizontal links.
+func (ix *Index) NumLinks() int { return ix.numLinks }
+
+// EstimatedDiskBytes applies the paper's 4n + 8N sizing formula. For a flat
+// snapshot the real figure exists too — MappedBytes — but this method keeps
+// the cross-engine metric comparable.
+func (ix *Index) EstimatedDiskBytes() int64 {
+	const c = 8
+	return 4*int64(ix.meta.NumDocs) + c*int64(ix.meta.MaxSerial)
+}
+
+// Shards reports nil: a flat snapshot is a single partition.
+func (ix *Index) Shards() []engine.ShardStat { return nil }
+
+// Documents returns the retained corpus, decoded lazily on first call (nil
+// when the snapshot was built without KeepDocuments, or if the DOCS
+// section is undecodable — Verify queries surface that error instead).
+func (ix *Index) Documents() []*xmltree.Document {
+	docs, _ := ix.loadDocs()
+	return docs
+}
+
+// Save writes the snapshot: the file is its own serialization, so this is
+// a byte copy, not an encode.
+func (ix *Index) Save(w io.Writer) error {
+	if _, err := w.Write(ix.data); err != nil {
+		return fmt.Errorf("flat: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile is Save to a file, crash-safely (temp + fsync + rename).
+func (ix *Index) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("flat: save %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = ix.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("flat: save %s: sync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("flat: save %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("flat: save %s: rename: %w", path, err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Generation identifies the snapshot; flat snapshots are immutable.
+func (ix *Index) Generation() uint64 { return 0 }
+
+// Encoder exposes the designator/path table (conversion and tests).
+func (ix *Index) Encoder() *pathenc.Encoder { return ix.enc }
+
+// AttachPager starts page-level accounting: every kernel read charges the
+// 4 KiB page(s) it touches, so pool.Stats reports the paper's disk-access
+// metric over the real layout and pool.Len the resident page count. It
+// returns the snapshot's total page count. Safe to call on a serving
+// index; queries pay one mutex acquisition per touched range while
+// attached.
+func (ix *Index) AttachPager(pool *pager.Pool) (int64, error) {
+	ix.pagerMu.Lock()
+	ix.pool = pool
+	ix.pagerMu.Unlock()
+	ix.pagerOn.Store(pool != nil)
+	return ix.TotalPages(), nil
+}
+
+// DetachPager stops page accounting.
+func (ix *Index) DetachPager() {
+	ix.pagerOn.Store(false)
+	ix.pagerMu.Lock()
+	ix.pool = nil
+	ix.pagerMu.Unlock()
+}
+
+// PagerStats returns the attached pool's counters (zero when detached).
+func (ix *Index) PagerStats() pager.Stats {
+	ix.pagerMu.Lock()
+	defer ix.pagerMu.Unlock()
+	if ix.pool == nil {
+		return pager.Stats{}
+	}
+	return ix.pool.Stats()
+}
+
+// ResetPagerStats zeroes the counters, keeping the pool warm.
+func (ix *Index) ResetPagerStats() {
+	ix.pagerMu.Lock()
+	defer ix.pagerMu.Unlock()
+	if ix.pool != nil {
+		ix.pool.ResetStats()
+	}
+}
+
+// DropPagerCache empties the pool (cold-cache measurements).
+func (ix *Index) DropPagerCache() {
+	ix.pagerMu.Lock()
+	defer ix.pagerMu.Unlock()
+	if ix.pool != nil {
+		ix.pool.Drop()
+	}
+}
+
+// PagerAttached reports whether page accounting is running.
+func (ix *Index) PagerAttached() bool { return ix.pagerOn.Load() }
+
+// ResidentPages reports how many distinct pages the attached pool holds
+// (0 when detached).
+func (ix *Index) ResidentPages() int64 {
+	ix.pagerMu.Lock()
+	defer ix.pagerMu.Unlock()
+	if ix.pool == nil {
+		return 0
+	}
+	return int64(ix.pool.Len())
+}
+
+// TotalPages is the snapshot's size in 4 KiB pages.
+func (ix *Index) TotalPages() int64 {
+	return (int64(len(ix.data)) + pager.PageSize - 1) / pager.PageSize
+}

@@ -1,0 +1,411 @@
+package flat
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"xseq/internal/datagen"
+	"xseq/internal/engine"
+	"xseq/internal/index"
+	"xseq/internal/pager"
+	"xseq/internal/pathenc"
+	"xseq/internal/query"
+	"xseq/internal/schema"
+	"xseq/internal/sequence"
+	"xseq/internal/xmltree"
+)
+
+// corpus generates the named test corpus.
+func corpus(t testing.TB, name string, n int) []*xmltree.Document {
+	t.Helper()
+	var docs []*xmltree.Document
+	var err error
+	if name == "xmark" {
+		_, docs, err = datagen.XMark(datagen.XMarkOptions{Seed: 11}, n)
+	} else {
+		var p datagen.SynthParams
+		p, err = datagen.ParseSynthName(name)
+		if err == nil {
+			p.Seed = 11
+			_, docs, err = datagen.Synth(p, n)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return docs
+}
+
+// buildMono builds the reference monolithic index.
+func buildMono(t testing.TB, docs []*xmltree.Document, keep bool) *index.Index {
+	t.Helper()
+	roots := make([]*xmltree.Node, len(docs))
+	for i, d := range docs {
+		roots[i] = d.Root
+	}
+	sch, err := schema.Infer(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := pathenc.NewEncoder(0)
+	ix, err := index.Build(docs, index.Options{
+		Encoder:       enc,
+		Strategy:      sequence.NewProbability(sch, enc),
+		KeepDocuments: keep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// flatten converts an index to an opened flat snapshot held in memory.
+func flatten(t testing.TB, ix *index.Index, opts Options) (*Index, []byte) {
+	t.Helper()
+	ex, err := ix.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ex); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenBytes(buf.Bytes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, buf.Bytes()
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var testQueries = map[string][]string{
+	"xmark": {
+		datagen.XMarkQ1,
+		datagen.XMarkQ2,
+		datagen.XMarkQ3,
+		"/site//person/name",
+		"//item/location",
+		"//date",
+		"/site/*",
+	},
+	"L3F5A25I0P40": {
+		"/e1",
+		"/e1/e2",
+		"//e3",
+		"/e1/*",
+		"//e2//*",
+	},
+}
+
+// TestFlatEquivalence: the flat engine must answer every query mode
+// exactly like the monolithic index it was converted from — plain,
+// verified, stats-carrying, and limited.
+func TestFlatEquivalence(t *testing.T) {
+	for corpusName, queries := range testQueries {
+		docs := corpus(t, corpusName, 250)
+		mono := buildMono(t, docs, true)
+		f, _ := flatten(t, mono, Options{VerifyChecksums: true})
+		if f.NumDocuments() != mono.NumDocuments() {
+			t.Fatalf("%s: NumDocuments %d, want %d", corpusName, f.NumDocuments(), mono.NumDocuments())
+		}
+		if f.NumNodes() != mono.NumNodes() {
+			t.Fatalf("%s: NumNodes %d, want %d", corpusName, f.NumNodes(), mono.NumNodes())
+		}
+		if f.NumLinks() != mono.NumLinks() {
+			t.Fatalf("%s: NumLinks %d, want %d", corpusName, f.NumLinks(), mono.NumLinks())
+		}
+		ctx := context.Background()
+		for _, q := range queries {
+			pat, err := query.Parse(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := mono.QueryWithContext(ctx, pat, engine.QueryOptions{})
+			if err != nil {
+				t.Fatalf("%s: mono %s: %v", corpusName, q, err)
+			}
+			got, err := f.QueryWithContext(ctx, pat, engine.QueryOptions{})
+			if err != nil {
+				t.Fatalf("%s: flat %s: %v", corpusName, q, err)
+			}
+			if !equalIDs(got, want) {
+				t.Fatalf("%s: %s: flat %v, mono %v", corpusName, q, got, want)
+			}
+
+			wantV, err := mono.QueryWithContext(ctx, pat, engine.QueryOptions{Verify: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotV, err := f.QueryWithContext(ctx, pat, engine.QueryOptions{Verify: true})
+			if err != nil {
+				t.Fatalf("%s: flat verified %s: %v", corpusName, q, err)
+			}
+			if !equalIDs(gotV, wantV) {
+				t.Fatalf("%s: verified %s: flat %v, mono %v", corpusName, q, gotV, wantV)
+			}
+
+			var st engine.QueryStats
+			gotE, err := f.QueryWithContext(ctx, pat, engine.QueryOptions{Stats: &st})
+			if err != nil {
+				t.Fatalf("%s: flat explain %s: %v", corpusName, q, err)
+			}
+			if !equalIDs(gotE, want) || st.Results != len(want) {
+				t.Fatalf("%s: explain %s: ids %v stats %+v, want %v", corpusName, q, gotE, st, want)
+			}
+
+			if len(want) > 1 {
+				part, err := f.QueryWithContext(ctx, pat, engine.QueryOptions{MaxResults: len(want) - 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(part) != len(want)-1 {
+					t.Fatalf("%s: limit %s: %d ids, want %d", corpusName, q, len(part), len(want)-1)
+				}
+				members := map[int32]bool{}
+				for _, id := range want {
+					members[id] = true
+				}
+				for _, id := range part {
+					if !members[id] {
+						t.Fatalf("%s: limit %s: id %d not in full result", corpusName, q, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatFileRoundtrip: WriteFile → OpenFile (mapped and unmapped) both
+// answer like the source index, and Close is idempotent.
+func TestFlatFileRoundtrip(t *testing.T) {
+	docs := corpus(t, "xmark", 120)
+	mono := buildMono(t, docs, false)
+	ex, err := mono.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.flat")
+	if err := WriteFile(path, ex); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, noMmap := range []bool{false, true} {
+		f, err := OpenFile(path, Options{NoMmap: noMmap})
+		if err != nil {
+			t.Fatalf("NoMmap=%v: %v", noMmap, err)
+		}
+		if !noMmap && mmapAvailable != f.Mmapped() {
+			t.Fatalf("Mmapped() = %v, platform mmap %v", f.Mmapped(), mmapAvailable)
+		}
+		if noMmap && f.Mmapped() {
+			t.Fatal("NoMmap snapshot claims to be mapped")
+		}
+		if f.MappedBytes() == 0 {
+			t.Fatal("MappedBytes = 0")
+		}
+		for _, q := range []string{datagen.XMarkQ1, "//date", "/site/*"} {
+			pat, _ := query.Parse(q)
+			want, _ := mono.QueryWithContext(ctx, pat, engine.QueryOptions{})
+			got, err := f.QueryWithContext(ctx, pat, engine.QueryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(got, want) {
+				t.Fatalf("NoMmap=%v %s: %v, want %v", noMmap, q, got, want)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFlatSaveCopies: Save re-emits the identical byte stream, and the
+// copy opens and answers.
+func TestFlatSaveCopies(t *testing.T) {
+	docs := corpus(t, "L3F5A25I0P40", 80)
+	mono := buildMono(t, docs, false)
+	f, blob := flatten(t, mono, Options{})
+	var out bytes.Buffer
+	if err := f.Save(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), blob) {
+		t.Fatal("Save did not reproduce the snapshot bytes")
+	}
+	if _, err := OpenBytes(out.Bytes(), Options{VerifyChecksums: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlatPagerAccounting: with a pool attached, queries charge page
+// touches; resident pages grow and stay within the snapshot's page count;
+// detaching restores the untracked fast path.
+func TestFlatPagerAccounting(t *testing.T) {
+	docs := corpus(t, "xmark", 150)
+	mono := buildMono(t, docs, false)
+	f, _ := flatten(t, mono, Options{})
+	total, err := f.AttachPager(pager.NewPool(int(f.TotalPages())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != f.TotalPages() || total == 0 {
+		t.Fatalf("AttachPager pages = %d, TotalPages = %d", total, f.TotalPages())
+	}
+	ctx := context.Background()
+	pat, _ := query.Parse("//item/location")
+	if _, err := f.QueryWithContext(ctx, pat, engine.QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.PagerStats()
+	if st.Reads == 0 || st.Misses == 0 {
+		t.Fatalf("no page touches recorded: %+v", st)
+	}
+	res := f.ResidentPages()
+	if res == 0 || res > total {
+		t.Fatalf("resident pages %d outside (0, %d]", res, total)
+	}
+	if !f.PagerAttached() {
+		t.Fatal("PagerAttached = false while attached")
+	}
+	f.DetachPager()
+	if f.PagerAttached() || f.ResidentPages() != 0 {
+		t.Fatal("detach did not clear pager state")
+	}
+}
+
+// TestFlatCorruptionDetected: every class of damage — truncation anywhere,
+// bit flips in every region, forged section lengths — fails the
+// full-verification open with *index.CorruptError and never panics.
+func TestFlatCorruptionDetected(t *testing.T) {
+	docs := corpus(t, "xmark", 60)
+	mono := buildMono(t, docs, true)
+	_, blob := flatten(t, mono, Options{})
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		_, err := OpenBytes(data, Options{VerifyChecksums: true})
+		if err == nil {
+			t.Fatalf("%s: full-verify open accepted damaged snapshot", name)
+		}
+		var ce *index.CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: error %v, want *index.CorruptError", name, err)
+		}
+	}
+
+	// Truncation at representative byte counts, including mid-header.
+	for _, n := range []int{0, 7, 12, 40, len(blob) / 4, len(blob) / 2, len(blob) - 1} {
+		check("truncate", blob[:n])
+	}
+	// One flipped bit in every region of the file.
+	step := len(blob)/37 + 1
+	for off := 0; off < len(blob); off += step {
+		mut := bytes.Clone(blob)
+		mut[off] ^= 0x10
+		check("bitflip", mut)
+	}
+	// Forged section lengths: double every table entry's length in turn.
+	count := int(le.Uint32(blob[12:]))
+	for i := 0; i < count; i++ {
+		mut := bytes.Clone(blob)
+		row := headerFixedLen + i*sectionEntryLen
+		le.PutUint64(mut[row+16:], le.Uint64(mut[row+16:])*2+8)
+		check("forged-length", mut)
+	}
+}
+
+// TestFlatLazyOpenQueriesNeverPanic: the O(1) open skips bulk checksums,
+// so damage there may only surface at query time — as a *CorruptError or
+// (for label-value damage the varint framing happens to absorb) a
+// well-formed wrong-id set that full verification would have caught; what
+// is never allowed is a panic.
+func TestFlatLazyOpenQueriesNeverPanic(t *testing.T) {
+	docs := corpus(t, "xmark", 60)
+	mono := buildMono(t, docs, false)
+	_, blob := flatten(t, mono, Options{})
+	ctx := context.Background()
+	pats := make([]*query.Pattern, 0, 3)
+	for _, q := range []string{"//date", "/site/*", datagen.XMarkQ1} {
+		p, err := query.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pats = append(pats, p)
+	}
+	step := len(blob)/53 + 1
+	for off := 0; off < len(blob); off += step {
+		mut := bytes.Clone(blob)
+		mut[off] ^= 0x40
+		f, err := OpenBytes(mut, Options{})
+		if err != nil {
+			var ce *index.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("open at %d: error %v, want *index.CorruptError", off, err)
+			}
+			continue
+		}
+		for _, pat := range pats {
+			if _, err := f.QueryWithContext(ctx, pat, engine.QueryOptions{}); err != nil {
+				var ce *index.CorruptError
+				if !errors.As(err, &ce) && ctx.Err() == nil {
+					t.Fatalf("query after flip at %d: error %v, want *index.CorruptError", off, err)
+				}
+			}
+		}
+	}
+}
+
+// FuzzFlatLoad hammers OpenBytes + the query kernel with arbitrary bytes:
+// whatever the damage, opening either fails with *index.CorruptError or
+// yields an index whose queries run to completion without panicking.
+func FuzzFlatLoad(f *testing.F) {
+	docs := corpus(f, "L3F5A25I0P40", 30)
+	mono := buildMono(f, docs, false)
+	_, blob := flatten(f, mono, Options{})
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:headerFixedLen+4])
+	f.Add([]byte("XSEQFLAT"))
+	f.Add([]byte{})
+	mut := bytes.Clone(blob)
+	mut[len(mut)/3] ^= 0xff
+	f.Add(mut)
+	pat, err := query.Parse("//e2")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := OpenBytes(data, Options{})
+		if err != nil {
+			var ce *index.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("open error %v, want *index.CorruptError", err)
+			}
+			return
+		}
+		if _, err := ix.QueryWithContext(context.Background(), pat, engine.QueryOptions{}); err != nil {
+			var ce *index.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("query error %v, want *index.CorruptError", err)
+			}
+		}
+	})
+}

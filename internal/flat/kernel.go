@@ -1,0 +1,410 @@
+package flat
+
+import (
+	"context"
+	"slices"
+	"sort"
+	"sync"
+
+	"xseq/internal/engine"
+	"xseq/internal/pager"
+	"xseq/internal/pathenc"
+	"xseq/internal/query"
+	"xseq/internal/sequence"
+)
+
+// This file is Algorithm 1 re-targeted at the mapped byte arrays: the same
+// recursion, binary searches, and sibling-cover test as
+// internal/index/search.go, with linkEntry field reads replaced by
+// little-endian loads at computed offsets. The pooled-scratch discipline is
+// identical — steady-state queries allocate nothing — with one addition:
+// because the bulk sections are not checksummed at open, every offset the
+// kernel follows into the ENDS streams and every anc hop is bounds-checked,
+// and a violation aborts the query with a *index.CorruptError instead of
+// panicking or silently mis-answering.
+
+// Label accessors. Link extents were validated at open, so entry indexes in
+// [0, n) are in-bounds by construction.
+
+func (l *linkView) pre(k int32) int32 { return int32(le.Uint32(l.pres[4*k:])) }
+func (l *linkView) max(k int32) int32 { return int32(le.Uint32(l.maxs[4*k:])) }
+
+// ancAt reads the cover ancestor, -1 for cover-elided links.
+func (l *linkView) ancAt(k int32) int32 {
+	if l.anc == nil {
+		return -1
+	}
+	return int32(le.Uint32(l.anc[4*k:]))
+}
+
+// embedsAt reads the embeds bit, false for cover-elided links.
+func (l *linkView) embedsAt(k int32) bool {
+	return l.embeds != nil && bitsetGet(l.embeds, k)
+}
+
+// touch charges the page(s) of the file range [off, off+n) when a pager is
+// attached. The detached fast path is one atomic load.
+func (ix *Index) touch(off uint64, n int) {
+	if !ix.pagerOn.Load() {
+		return
+	}
+	first := pager.PageID(off / pager.PageSize)
+	last := pager.PageID((off + uint64(n) - 1) / pager.PageSize)
+	ix.pagerMu.Lock()
+	if ix.pool != nil {
+		for p := first; p <= last; p++ {
+			ix.pool.Touch(p)
+		}
+	}
+	ix.pagerMu.Unlock()
+}
+
+// touchLinkSlot charges the page holding link slot k's pre label.
+func (ix *Index) touchLinkSlot(l *linkView, k int32) {
+	if ix.pagerOn.Load() {
+		ix.touch(l.fileOff+uint64(4*k), 4)
+	}
+}
+
+// insEntry records a matched entry that embeds identical siblings (or
+// shadows an older recorded entry of the same path); see
+// index/search.go.
+type insEntry struct {
+	path pathenc.PathID
+	link int32
+}
+
+func insHasPath(ins []insEntry, p pathenc.PathID) bool {
+	for k := len(ins) - 1; k >= 0; k-- {
+		if ins[k].path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// queryScratch is the reusable per-query working set, the flat twin of
+// index's: the ins stack, the epoch-stamped doc-id dedup array, the
+// terminal doc-id buffer, the result buffer, and the instantiation
+// scratch. Everything is borrowed; resultSet.take copies the answer out
+// before the scratch returns to the pool.
+type queryScratch struct {
+	ins    []insEntry
+	stamp  []uint32
+	epoch  uint32
+	docBuf []int32
+	ids    []int32
+	inst   query.Scratch
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func getScratch(maxID int32) *queryScratch {
+	s := scratchPool.Get().(*queryScratch)
+	if n := int(maxID) + 1; len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	return s
+}
+
+func putScratch(s *queryScratch) { scratchPool.Put(s) }
+
+// cancelCheckStride matches the heap kernel's context-poll cadence.
+const cancelCheckStride = 256
+
+// resultSet mirrors index's: epoch-stamped dedup, optional cap, context
+// polling, and an error latch that also carries kernel corruption errors.
+type resultSet struct {
+	scr   *queryScratch
+	ids   []int32
+	limit int
+	stats *engine.QueryStats
+
+	ctx       context.Context
+	err       error
+	countdown int
+}
+
+func (r *resultSet) cancelled() bool {
+	if r.err != nil {
+		return true
+	}
+	if r.ctx == nil {
+		return false
+	}
+	r.countdown--
+	if r.countdown > 0 {
+		return false
+	}
+	r.countdown = cancelCheckStride
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+		return true
+	}
+	return false
+}
+
+func (r *resultSet) full() bool {
+	return r.err != nil || (r.limit > 0 && len(r.ids) >= r.limit)
+}
+
+func (r *resultSet) addAll(ids []int32) {
+	stamp, epoch := r.scr.stamp, r.scr.epoch
+	for _, id := range ids {
+		if r.full() {
+			return
+		}
+		if stamp[id] != epoch {
+			stamp[id] = epoch
+			r.ids = append(r.ids, id)
+		}
+	}
+}
+
+func (r *resultSet) take() []int32 {
+	slices.Sort(r.ids)
+	var out []int32
+	if len(r.ids) > 0 {
+		out = make([]int32, len(r.ids))
+		copy(out, r.ids)
+	}
+	r.scr.ids = r.ids[:0]
+	return out
+}
+
+// search runs one query sequence through the mapped links (Algorithm 1).
+func (ix *Index) search(q sequence.Sequence, naive bool, res *resultSet) {
+	if len(q) == 0 {
+		return
+	}
+	stats := res.stats
+	scr := res.scr
+	ins := scr.ins[:0]
+	var rec func(i int, lo, hi int32)
+	rec = func(i int, lo, hi int32) {
+		p := q[i]
+		if int(p) < 0 || int(p) >= len(ix.linkViews) {
+			return
+		}
+		l := &ix.linkViews[p]
+		if l.n == 0 {
+			return
+		}
+		start := ix.searchLink(l, lo, stats)
+		for idx := start; idx < l.n && !res.full(); idx++ {
+			pre := l.pre(idx)
+			if pre > hi {
+				break
+			}
+			if res.cancelled() {
+				return
+			}
+			ix.touchLinkSlot(l, idx)
+			if stats != nil {
+				stats.EntriesScanned++
+			}
+			if !naive && ix.siblingCovered(p, pre, ins, stats, res) {
+				if res.err != nil {
+					return
+				}
+				continue
+			}
+			max := l.max(idx)
+			if i == len(q)-1 {
+				scr.docBuf = ix.collectDocs(pre, max, scr.docBuf[:0], res)
+				if res.err != nil {
+					return
+				}
+				res.addAll(scr.docBuf)
+				continue
+			}
+			saved := len(ins)
+			if !naive && (l.embedsAt(idx) || insHasPath(ins, p)) {
+				ins = append(ins, insEntry{path: p, link: idx})
+			}
+			rec(i+1, pre+1, max)
+			ins = ins[:saved]
+		}
+	}
+	rec(0, 1, ix.meta.MaxSerial)
+	scr.ins = ins[:0]
+}
+
+// searchLink binary searches l for the first entry with pre >= lo.
+func (ix *Index) searchLink(l *linkView, lo int32, stats *engine.QueryStats) int32 {
+	return int32(sort.Search(int(l.n), func(k int) bool {
+		ix.touchLinkSlot(l, int32(k))
+		if stats != nil {
+			stats.LinkProbes++
+		}
+		return l.pre(int32(k)) >= lo
+	}))
+}
+
+// siblingCovered is the flat port of the sibling-cover test (Theorem 3):
+// for each recorded ins entry whose path strictly prefixes the candidate's,
+// the innermost same-path strict ancestor of the candidate must be the
+// recorded entry itself. A corrupt anc chain latches res.err.
+func (ix *Index) siblingCovered(p pathenc.PathID, pre int32, ins []insEntry, stats *engine.QueryStats, res *resultSet) bool {
+	for k := len(ins) - 1; k >= 0; k-- {
+		x := ins[k]
+		shadowed := false
+		for j := k + 1; j < len(ins); j++ {
+			if ins[j].path == x.path {
+				shadowed = true
+				break
+			}
+		}
+		if shadowed {
+			continue
+		}
+		if !ix.enc.IsStrictPrefix(x.path, p) {
+			continue
+		}
+		if stats != nil {
+			stats.CoverChecks++
+		}
+		anc, err := ix.innermostAncestor(x.path, pre, stats)
+		if err != nil {
+			res.err = err
+			return true
+		}
+		if anc != x.link {
+			if stats != nil {
+				stats.CoverRejections++
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// innermostAncestor returns the index, within path px's link, of the
+// innermost entry strictly containing serial pre, or -1. The anc chain is
+// raw mapped data, so each hop must strictly decrease — a forged pointer
+// (cycle or out-of-range) is corruption, not an infinite loop.
+func (ix *Index) innermostAncestor(px pathenc.PathID, pre int32, stats *engine.QueryStats) (int32, error) {
+	l := &ix.linkViews[px]
+	idx := int32(sort.Search(int(l.n), func(k int) bool {
+		ix.touchLinkSlot(l, int32(k))
+		if stats != nil {
+			stats.LinkProbes++
+		}
+		return l.pre(int32(k)) >= pre
+	})) - 1
+	for idx >= 0 {
+		ix.touchLinkSlot(l, idx)
+		if l.max(idx) >= pre {
+			return idx, nil
+		}
+		next := l.ancAt(idx)
+		if next >= idx {
+			return 0, corrupt("link %d anc chain does not decrease (%d -> %d)", px, idx, next)
+		}
+		idx = next
+	}
+	return -1, nil
+}
+
+// collectDocs appends the doc ids of all end nodes with pre in [lo, hi],
+// decoding the varint-delta blocks in place. Every offset and varint is
+// bounds-checked; a violation latches a *CorruptError into res.err.
+func (ix *Index) collectDocs(lo, hi int32, out []int32, res *resultSet) []int32 {
+	ev := &ix.ends
+	if ev.numBlocks == 0 {
+		return out
+	}
+	// Find the first block that could hold pre >= lo: the one before the
+	// first block with firstPre > lo (entries within a block ascend from
+	// firstPre).
+	b := sort.Search(ev.numBlocks, func(k int) bool {
+		return int32(le.Uint32(ev.dir[k*endsBlockDirLen:])) > lo
+	}) - 1
+	if b < 0 {
+		b = 0
+	}
+	payload := ev.payload
+	for ; b < ev.numBlocks; b++ {
+		row := ev.dir[b*endsBlockDirLen:]
+		firstPre := int32(le.Uint32(row))
+		if firstPre > hi {
+			break
+		}
+		count := int(le.Uint32(row[4:]))
+		entryPos := int(le.Uint64(row[8:]))
+		idsPos := int(le.Uint64(row[16:]))
+		if count < 0 || count > endsBlockSize || entryPos > len(payload) || idsPos > len(payload) {
+			res.err = corrupt("ends block %d directory out of range", b)
+			return out
+		}
+		ix.touch(ev.fileOff+uint64(b*endsBlockDirLen)+8, endsBlockDirLen)
+		pre := firstPre
+		for e := 0; e < count; e++ {
+			delta, next, ok := uvarint(payload, entryPos)
+			if !ok {
+				res.err = corrupt("ends block %d entry %d: truncated pre delta", b, e)
+				return out
+			}
+			idCount, next2, ok := uvarint(payload, next)
+			if !ok {
+				res.err = corrupt("ends block %d entry %d: truncated id count", b, e)
+				return out
+			}
+			idsLen, next3, ok := uvarint(payload, next2)
+			if !ok {
+				res.err = corrupt("ends block %d entry %d: truncated ids length", b, e)
+				return out
+			}
+			ix.touch(ev.fileOff+uint64(entryPos), next3-entryPos)
+			entryPos = next3
+			if delta > uint64(1)<<31 || idCount > uint64(1)<<31 || idsLen > uint64(len(payload)) {
+				res.err = corrupt("ends block %d entry %d: implausible sizes", b, e)
+				return out
+			}
+			pre += int32(delta)
+			if idsPos+int(idsLen) > len(payload) {
+				res.err = corrupt("ends block %d entry %d: ids run past section", b, e)
+				return out
+			}
+			if pre > hi {
+				return out
+			}
+			if pre < lo {
+				idsPos += int(idsLen)
+				continue
+			}
+			ix.touch(ev.fileOff+uint64(idsPos), int(idsLen))
+			stop := idsPos + int(idsLen)
+			id := int32(0)
+			for k := uint64(0); k < idCount; k++ {
+				u, next, ok := uvarint(payload, idsPos)
+				if !ok || next > stop {
+					res.err = corrupt("ends block %d entry %d: truncated doc id", b, e)
+					return out
+				}
+				idsPos = next
+				if k == 0 {
+					id = unzigzag(u)
+				} else {
+					id += unzigzag(u)
+				}
+				if id < 0 || id > ix.meta.MaxDocID {
+					res.err = corrupt("ends block %d entry %d: doc id %d outside [0, %d]", b, e, id, ix.meta.MaxDocID)
+					return out
+				}
+				out = append(out, id)
+			}
+			if idsPos != stop {
+				res.err = corrupt("ends block %d entry %d: ids length mismatch", b, e)
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package flat
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mmapAvailable reports whether this platform maps snapshots instead of
+// reading them.
+const mmapAvailable = false
+
+// mapFile is the portable fallback: read the whole file into memory. The
+// query path is identical (byte-offset addressed); only the
+// bigger-than-RAM property is lost.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	data = make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, fmt.Errorf("flat: read: %w", err)
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,31 @@
+//go:build unix
+
+package flat
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports whether this platform maps snapshots instead of
+// reading them.
+const mmapAvailable = true
+
+// mapFile maps f read-only, returning the mapped bytes and an unmap
+// function. Queries then touch only the pages they visit; the OS pages the
+// rest in and out on demand, which is what makes a corpus bigger than RAM
+// serveable.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("flat: file size %d exceeds address space", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("flat: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

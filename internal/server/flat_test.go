@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xseq"
+)
+
+// buildFlatSnapshot writes an n-document flat snapshot to path (same corpus
+// as buildSnapshot, so matchAll hits every document).
+func buildFlatSnapshot(t *testing.T, path string, n int, keepDocs bool) {
+	t.Helper()
+	docs := make([]*xseq.Document, n)
+	for i := range docs {
+		d, err := xseq.ParseDocumentString(int32(i),
+			fmt.Sprintf("<rec><title>t%d</title><city>boston</city></rec>", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = d
+	}
+	ix, err := xseq.Build(docs, xseq.Config{KeepDocuments: keepDocs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFlatFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeFlatSnapshot: a static server over a flat snapshot answers
+// queries, enforces ExpectLayout, and /stats carries the flat section with
+// live resident/disk-access figures.
+func TestServeFlatSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.flat")
+	buildFlatSnapshot(t, path, 4, true)
+	srv, err := New(Config{
+		IndexPath:      path,
+		ExpectLayout:   "flat",
+		DefaultTimeout: 30 * time.Second,
+		Logf:           silentLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, qr, _ := getQuery(t, ts.URL, "q="+matchAll)
+	if code != http.StatusOK || qr.Count != 4 {
+		t.Fatalf("query = %d, %+v", code, qr)
+	}
+	if code, qr, _ = getQuery(t, ts.URL, "q="+matchAll+"&verify=1"); code != 200 || qr.Count != 4 {
+		t.Fatalf("verified query = %d, %+v", code, qr)
+	}
+
+	code, body := get(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats = %d: %s", code, body)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Flat == nil {
+		t.Fatalf("/stats has no flat section: %s", body)
+	}
+	if st.Flat.MappedBytes == 0 || st.Flat.Pages == 0 {
+		t.Fatalf("flat stats missing size figures: %+v", st.Flat)
+	}
+	if st.Flat.Reads == 0 || st.Flat.ResidentPages == 0 {
+		t.Fatalf("queries did not register page touches: %+v", st.Flat)
+	}
+	if st.Flat.ResidentPages > st.Flat.Pages {
+		t.Fatalf("resident %d pages exceeds mapped %d", st.Flat.ResidentPages, st.Flat.Pages)
+	}
+}
+
+// TestExpectLayoutMismatch: a heap snapshot is refused at startup when the
+// server expects flat, and vice versa.
+func TestExpectLayoutMismatch(t *testing.T) {
+	dir := t.TempDir()
+	heap := filepath.Join(dir, "snap.idx")
+	buildSnapshot(t, heap, 2, false)
+	if _, err := New(Config{IndexPath: heap, ExpectLayout: "flat", Logf: silentLogf}); err == nil {
+		t.Fatal("monolithic snapshot accepted with ExpectLayout=flat")
+	}
+	flat := filepath.Join(dir, "snap.flat")
+	buildFlatSnapshot(t, flat, 2, false)
+	if _, err := New(Config{IndexPath: flat, ExpectLayout: "monolithic", Logf: silentLogf}); err == nil {
+		t.Fatal("flat snapshot accepted with ExpectLayout=monolithic")
+	}
+	if _, err := New(Config{IndexPath: flat, ExpectLayout: "zoned", Logf: silentLogf}); err == nil {
+		t.Fatal("unknown ExpectLayout accepted")
+	}
+}
+
+// TestFlatCorruptReloadKeepsServing: a corrupt replacement flat snapshot —
+// including damage in the bulk sections the O(dictionary) open does not
+// checksum — is rejected on reload and the old snapshot keeps answering.
+func TestFlatCorruptReloadKeepsServing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.flat")
+	buildFlatSnapshot(t, path, 3, false)
+	srv, err := New(Config{
+		IndexPath:      path,
+		ExpectLayout:   "flat",
+		DefaultTimeout: 30 * time.Second,
+		Logf:           silentLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replacement snapshots must arrive by atomic rename (SaveFlatFile's
+	// contract): the serving snapshot mmaps the old inode, which an in-place
+	// overwrite would mutate underneath it.
+	replace := func(data []byte) {
+		t.Helper()
+		tmp := path + ".next"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Damage the tail — bulk payload far past the verified dictionary head.
+	mut := bytes.Clone(blob)
+	mut[len(mut)-8] ^= 0x01
+	replace(mut)
+	if err := srv.Reload(); err == nil {
+		t.Fatal("Reload accepted a corrupt flat snapshot")
+	}
+	code, qr, _ := getQuery(t, ts.URL, "q="+matchAll)
+	if code != http.StatusOK || qr.Count != 3 {
+		t.Fatalf("after corrupt reload: query = %d, %+v", code, qr)
+	}
+	var hr healthResponse
+	if _, body := get(t, ts.URL+"/healthz"); true {
+		if err := json.Unmarshal(body, &hr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hr.Status != "degraded" {
+		t.Fatalf("healthz after failed reload = %q, want degraded", hr.Status)
+	}
+
+	// An intact rewrite reloads cleanly.
+	replace(blob)
+	if err := srv.Reload(); err != nil {
+		t.Fatalf("intact reload failed: %v", err)
+	}
+	if code, qr, _ := getQuery(t, ts.URL, "q="+matchAll); code != 200 || qr.Count != 3 {
+		t.Fatalf("after recovery: query = %d, %+v", code, qr)
+	}
+}

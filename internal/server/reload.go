@@ -23,15 +23,17 @@ func (s *Server) Reload() error {
 	mtime, size := statFile(s.cfg.IndexPath)
 	ix, err := xseq.LoadFile(s.cfg.IndexPath)
 	if err == nil {
-		err = checkShards(s.cfg.ExpectShards, ix)
+		// prepareSnapshot verifies integrity (flat snapshots fully, before
+		// any query can hit the damage) and re-instruments the replacement:
+		// a fresh, empty query cache — the swap itself is the invalidation;
+		// readers on the old snapshot keep its cache, whose entries are
+		// correct for that corpus — and, for flat, page accounting.
+		if perr := prepareSnapshot(&s.cfg, ix); perr != nil {
+			_ = ix.Close()
+			err = perr
+		}
 	}
 	if err == nil {
-		// The fresh snapshot gets a fresh, empty cache — the swap itself is
-		// the invalidation; readers on the old snapshot keep its cache,
-		// whose entries are correct for that corpus.
-		if s.cfg.QueryCacheEntries > 0 {
-			ix.EnableQueryCache(s.cfg.QueryCacheEntries)
-		}
 		s.swap.Swap(ix)
 	}
 	cur := s.swap.Current()

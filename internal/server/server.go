@@ -101,6 +101,13 @@ type Config struct {
 	// initial snapshot fails startup; a mismatched replacement is rejected
 	// on reload and the old snapshot keeps serving. 0 accepts any layout.
 	ExpectShards int
+	// ExpectLayout, when non-empty, requires every snapshot — initial and
+	// reloaded — to have this storage layout: "monolithic", "sharded", or
+	// "flat". Like ExpectShards, a mismatched initial snapshot fails
+	// startup and a mismatched replacement is rejected on reload. Flat
+	// snapshots additionally get page-level accounting attached, so /stats
+	// reports resident-vs-mapped bytes and disk accesses.
+	ExpectLayout string
 	// QueryCacheEntries, when > 0, wraps every served snapshot — initial
 	// and reloaded — in a result cache of this many entries. A reload swaps
 	// in a fresh snapshot with a fresh empty cache, so stale results are
@@ -205,6 +212,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IndexPath != "" && (cfg.WALPath != "" || cfg.FollowURL != "") {
 		return nil, fmt.Errorf("server: Config.IndexPath is mutually exclusive with WALPath/FollowURL")
 	}
+	switch cfg.ExpectLayout {
+	case "", "monolithic", "sharded", "flat":
+	default:
+		return nil, fmt.Errorf("server: Config.ExpectLayout %q (want monolithic, sharded, or flat)", cfg.ExpectLayout)
+	}
+	if cfg.ExpectLayout != "" && (cfg.WALPath != "" || cfg.FollowURL != "") {
+		return nil, fmt.Errorf("server: Config.ExpectLayout applies to static snapshot mode only")
+	}
 	ckptArmed := cfg.CheckpointEveryEntries > 0 || cfg.CheckpointEveryBytes > 0
 	if ckptArmed && cfg.WALPath == "" {
 		return nil, fmt.Errorf("server: the checkpoint policy requires Config.WALPath (nothing to rotate without a log)")
@@ -288,11 +303,9 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: initial snapshot: %w", err)
 		}
-		if err := checkShards(cfg.ExpectShards, ix); err != nil {
+		if err := prepareSnapshot(&cfg, ix); err != nil {
+			_ = ix.Close()
 			return nil, fmt.Errorf("server: initial snapshot: %w", err)
-		}
-		if cfg.QueryCacheEntries > 0 {
-			ix.EnableQueryCache(cfg.QueryCacheEntries)
 		}
 		s.swap = xseq.NewSwapper(ix)
 		s.loadedAt = time.Now()
@@ -525,6 +538,10 @@ type statsResponse struct {
 		Shards   int         `json:"shards"`
 		PerShard []shardStat `json:"per_shard,omitempty"`
 	} `json:"index"`
+	// Flat is present when the serving snapshot uses the flat layout: the
+	// real storage figures — how much of the mapped file queries have
+	// actually touched, and the page-level disk-access count.
+	Flat *flatStat `json:"flat,omitempty"`
 	// QueryCache is present only when the server runs with
 	// Config.QueryCacheEntries > 0.
 	QueryCache *queryCacheStat `json:"query_cache,omitempty"`
@@ -638,6 +655,18 @@ type shardStat struct {
 	Links      int `json:"links"`
 }
 
+// flatStat is the /stats flat-layout section.
+type flatStat struct {
+	MappedBytes   int64 `json:"mapped_bytes"`
+	Pages         int64 `json:"pages"`
+	Mmapped       bool  `json:"mmapped"`
+	ResidentPages int64 `json:"resident_pages"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	Reads         int64 `json:"reads"`
+	Hits          int64 `json:"hits"`
+	DiskAccesses  int64 `json:"disk_accesses"`
+}
+
 // queryCacheStat is the /stats query-cache section.
 type queryCacheStat struct {
 	Capacity  int   `json:"capacity"`
@@ -657,6 +686,49 @@ func checkShards(expect int, ix *xseq.Index) error {
 			return fmt.Errorf("snapshot is monolithic, want %d shards", expect)
 		}
 		return fmt.Errorf("snapshot has %d shards, want %d", got, expect)
+	}
+	return nil
+}
+
+// checkLayout enforces Config.ExpectLayout against a loaded snapshot.
+func checkLayout(expect string, ix *xseq.Index) error {
+	if expect == "" {
+		return nil
+	}
+	if got := ix.Layout(); got != expect {
+		return fmt.Errorf("snapshot layout is %s, want %s", got, expect)
+	}
+	return nil
+}
+
+// prepareSnapshot validates a freshly loaded static-mode snapshot against
+// the configured expectations and instruments it for serving. It must run
+// before the snapshot is published; on error the caller closes ix and keeps
+// whatever was serving.
+func prepareSnapshot(cfg *Config, ix *xseq.Index) error {
+	if err := checkShards(cfg.ExpectShards, ix); err != nil {
+		return err
+	}
+	if err := checkLayout(cfg.ExpectLayout, ix); err != nil {
+		return err
+	}
+	// Opening a flat snapshot verifies only its dictionary head; the full
+	// checksum sweep runs here so damage in the bulk sections rejects the
+	// snapshot up front instead of surfacing mid-query. No-op for heap
+	// layouts (their load already verified everything).
+	if err := ix.VerifyIntegrity(); err != nil {
+		return err
+	}
+	if cfg.QueryCacheEntries > 0 {
+		ix.EnableQueryCache(cfg.QueryCacheEntries)
+	}
+	// A flat snapshot serves with page accounting attached, the pool sized
+	// to hold every page: /stats then reports how much of the mapped file
+	// queries actually touch (resident vs mapped) and the disk-access count.
+	if st := ix.Stats(); st.Flat != nil {
+		if _, err := ix.EnablePagedIO(int(st.Flat.Pages)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -699,6 +771,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			IndexNodes: ps.IndexNodes,
 			Links:      ps.Links,
 		})
+	}
+	if fs := st.Flat; fs != nil {
+		resp.Flat = &flatStat{
+			MappedBytes:   fs.MappedBytes,
+			Pages:         fs.Pages,
+			Mmapped:       fs.Mmapped,
+			ResidentPages: fs.ResidentPages,
+			ResidentBytes: fs.ResidentBytes,
+			Reads:         fs.Reads,
+			Hits:          fs.Hits,
+			DiskAccesses:  fs.DiskAccesses,
+		}
 	}
 	if qc := st.QueryCache; qc != nil {
 		resp.QueryCache = &queryCacheStat{

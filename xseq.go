@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"xseq/internal/engine"
+	"xseq/internal/flat"
 	"xseq/internal/index"
 	"xseq/internal/pager"
 	"xseq/internal/pathenc"
@@ -225,6 +226,12 @@ type Config struct {
 	// one fsync covers a whole batch. 0 fsyncs per insert (still sharing
 	// fsyncs between concurrent inserters).
 	WALSyncWindow time.Duration
+	// Layout selects the storage organization. "" (with Shards) picks the
+	// heap layouts as before; LayoutFlat ("flat") converts the built index
+	// to the flat single-file format and serves it query-in-place — the
+	// layout Load gives a SaveFlat snapshot. Flat is a single-partition
+	// layout: combining it with Shards > 1 is a configuration error.
+	Layout string
 }
 
 // Index is an immutable constraint-sequence index over a corpus. The
@@ -260,6 +267,14 @@ func BuildContext(ctx context.Context, docs []*Document, cfg Config) (ix0 *Index
 	if cfg.BuildWorkers < 0 {
 		return nil, fmt.Errorf("xseq: negative build worker count %d", cfg.BuildWorkers)
 	}
+	switch cfg.Layout {
+	case "", LayoutFlat:
+	default:
+		return nil, fmt.Errorf("xseq: unknown layout %q (want \"\" or %q)", cfg.Layout, LayoutFlat)
+	}
+	if cfg.Layout == LayoutFlat && cfg.Shards > 1 {
+		return nil, fmt.Errorf("xseq: Layout %q is a single-partition layout; it cannot combine with Shards %d", LayoutFlat, cfg.Shards)
+	}
 	inner := make([]*xmltree.Document, len(docs))
 	for i, d := range docs {
 		if d == nil || d.root == nil {
@@ -283,6 +298,24 @@ func BuildContext(ctx context.Context, docs []*Document, cfg Config) (ix0 *Index
 			return nil, fmt.Errorf("xseq: build: %w", err)
 		}
 		out.eng, out.sch = ix, sch
+		if cfg.Layout == LayoutFlat {
+			// Convert in memory: lay the built index out in the flat format
+			// and serve the bytes query-in-place, exactly as a loaded
+			// SaveFlat snapshot would be.
+			ex, err := ix.Export()
+			if err != nil {
+				return nil, fmt.Errorf("xseq: build flat: %w", err)
+			}
+			var buf bytes.Buffer
+			if err := flat.Write(&buf, ex); err != nil {
+				return nil, fmt.Errorf("xseq: build flat: %w", err)
+			}
+			f, err := flat.OpenBytes(buf.Bytes(), flat.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("xseq: build flat: %w", err)
+			}
+			out.eng = f
+		}
 	}
 	if cfg.QueryCacheEntries > 0 {
 		out.EnableQueryCache(cfg.QueryCacheEntries)
@@ -480,6 +513,9 @@ type Stats struct {
 	// QueryCache reports the result cache's counters, nil when no cache is
 	// installed.
 	QueryCache *QueryCacheStats
+	// Flat reports the flat layout's real storage figures (mapped vs
+	// resident bytes, page-touch counters), nil for heap layouts.
+	Flat *FlatStats
 }
 
 // ShardStats is one shard's slice of a sharded index's Stats.
@@ -531,6 +567,7 @@ func (ix *Index) Stats() Stats {
 		Links:              ix.eng.NumLinks(),
 		EstimatedDiskBytes: ix.eng.EstimatedDiskBytes(),
 		QueryCache:         cacheStats(ix.eng),
+		Flat:               flatStats(ix.baseEngine()),
 	}
 	if per := ix.eng.Shards(); per != nil {
 		st.Shards = len(per)
@@ -637,6 +674,13 @@ func Load(r io.Reader) (_ *Index, err error) {
 		}
 		return &Index{eng: sh}, nil
 	}
+	if flat.IsFlatHeader(hdr[:n]) {
+		f, err := flat.Open(replay, flat.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Index{eng: f}, nil
+	}
 	inner, err := index.Load(replay)
 	if err != nil {
 		return nil, err
@@ -646,19 +690,29 @@ func Load(r io.Reader) (_ *Index, err error) {
 
 // LoadFile is Load from a file written by SaveFile (or any Save stream on
 // disk). Sharded snapshots load their shards in parallel on a
-// GOMAXPROCS-bounded worker pool.
+// GOMAXPROCS-bounded worker pool. A flat snapshot (SaveFlatFile) is
+// memory-mapped and opened in O(dictionary) time — the corpus-sized
+// sections are addressed, not decoded, so opening is independent of corpus
+// size and the file may exceed RAM; call Close when done with it.
 func LoadFile(path string) (_ *Index, err error) {
 	defer guard(&err)
-	sharded, err := fileIsSharded(path)
+	kind, err := sniffFile(path)
 	if err != nil {
 		return nil, err
 	}
-	if sharded {
+	switch kind {
+	case snapSharded:
 		sh, err := shard.LoadFile(path)
 		if err != nil {
 			return nil, err
 		}
 		return &Index{eng: sh}, nil
+	case snapFlat:
+		f, err := flat.OpenFile(path, flat.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Index{eng: f}, nil
 	}
 	inner, err := index.LoadFile(path)
 	if err != nil {
@@ -667,16 +721,31 @@ func LoadFile(path string) (_ *Index, err error) {
 	return &Index{eng: inner}, nil
 }
 
-// fileIsSharded sniffs path's first bytes for the sharded snapshot magic.
-func fileIsSharded(path string) (bool, error) {
+type snapKind int
+
+const (
+	snapMonolithic snapKind = iota
+	snapSharded
+	snapFlat
+)
+
+// sniffFile reads path's first bytes and classifies the snapshot format.
+func sniffFile(path string) (snapKind, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return false, fmt.Errorf("xseq: load %s: %w", path, err)
+		return snapMonolithic, fmt.Errorf("xseq: load %s: %w", path, err)
 	}
 	defer f.Close()
 	var hdr [8]byte
 	n, _ := io.ReadFull(f, hdr[:])
-	return shard.IsShardedHeader(hdr[:n]), nil
+	switch {
+	case shard.IsShardedHeader(hdr[:n]):
+		return snapSharded, nil
+	case flat.IsFlatHeader(hdr[:n]):
+		return snapFlat, nil
+	default:
+		return snapMonolithic, nil
+	}
 }
 
 // Swapper publishes the live snapshot of an index and atomically swaps in
@@ -720,9 +789,18 @@ func (s *Swapper) Swap(ix *Index) (prev *Index) {
 // previous snapshot stays published and keeps serving; the error is
 // returned alongside it. The returned index is whatever is current after
 // the call: the fresh snapshot on success, the surviving old one on error.
+//
+// Flat snapshots get the full integrity sweep (VerifyIntegrity) before
+// being published: their bulk sections are not checksummed by the O(1)
+// open, and a serving swap is exactly the moment to pay for the scan —
+// damage keeps the old snapshot serving instead of surfacing mid-query.
 func (s *Swapper) SwapFromFile(path string) (*Index, error) {
 	ix, err := LoadFile(path)
 	if err != nil {
+		return s.p.Load(), err
+	}
+	if err := ix.VerifyIntegrity(); err != nil {
+		ix.Close()
 		return s.p.Load(), err
 	}
 	s.p.Store(ix)
