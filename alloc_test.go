@@ -9,10 +9,12 @@ package xseq
 // none of them scale with corpus size or shard contents.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"xseq/internal/datagen"
+	"xseq/internal/telemetry"
 )
 
 // allocDocs generates a deterministic synthetic corpus as public Documents.
@@ -87,6 +89,66 @@ func TestQueryAllocsAllLayouts(t *testing.T) {
 			t.Logf("%s %s: %.1f allocs/op", l.name, q, got)
 			if got > l.max {
 				t.Errorf("%s %s: %.1f allocs/op, want <= %.0f", l.name, q, got, l.max)
+			}
+		}
+	}
+}
+
+// TestQueryAllocsTraced re-measures every layout with a context-borne
+// telemetry trace, the way the server runs each request. The per-op cost
+// adds a pooled trace fetch, one context value, and the kernel-counter
+// recording — all of which must fit inside the same per-layout bounds as
+// the untraced path, so enabling observability can never regress the
+// zero-alloc guarantee.
+func TestQueryAllocsTraced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool reuse; allocation counts are asserted in non-race runs")
+	}
+	docs := allocDocs(t, 200)
+
+	mono, err := Build(docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Build(docs, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := BuildDynamic(docs, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Build(docs, Config{Layout: LayoutFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"/n0", "/n0/n1", "//n2", "/n0/*"}
+	layouts := []struct {
+		name  string
+		query func(ctx context.Context, q string) ([]int32, error)
+		max   float64
+	}{
+		{"monolithic", mono.QueryContext, 60},
+		{"sharded", sharded.QueryContext, 160},
+		{"dynamic", dyn.QueryContext, 60},
+		{"flat", flat.QueryContext, 60},
+	}
+	for _, l := range layouts {
+		for _, q := range queries {
+			run := func() {
+				tr := telemetry.GetTrace()
+				ctx := telemetry.WithTrace(context.Background(), tr)
+				if _, err := l.query(ctx, q); err != nil {
+					t.Fatal(err)
+				}
+				telemetry.PutTrace(tr)
+			}
+			run() // warm pools (scratch across all shards + trace pool)
+			got := testing.AllocsPerRun(50, run)
+			t.Logf("%s %s traced: %.1f allocs/op", l.name, q, got)
+			if got > l.max {
+				t.Errorf("%s %s traced: %.1f allocs/op, want <= %.0f", l.name, q, got, l.max)
 			}
 		}
 	}

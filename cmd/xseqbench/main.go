@@ -7,6 +7,8 @@
 //	xseqbench [-exp all|fig14a,table7,...] [-scale 0.02] [-seed 42]
 //	          [-queries 50] [-pool 256] [-list]
 //	xseqbench -json - [-dataset xmark] [-records 1000] [-shards 4] [-workers 4]
+//	xseqbench -replay query.log -url http://127.0.0.1:8080 [-rate 200] [-json -]
+//	xseqbench -genlog query.log [-genlog-queries 500] [-skew 1.2]
 //
 // Scale 1.0 reproduces paper-sized datasets (millions of records; takes a
 // long time and a lot of memory); the default keeps each experiment in
@@ -18,8 +20,19 @@
 // sharded index and equivalence-checked against the monolithic one, and a
 // single JSON object is written to the named file ("-" = stdout).
 //
-// Exit codes: 0 success, 1 data/experiment error, 2 usage, 3 timeout
-// (-timeout elapsed before the run finished), 4 corrupt index snapshot.
+// -replay drives a recorded query log (plain pattern lines or xseqd
+// -trace-log JSON lines) against a live xseqd at -rate queries/sec
+// (0 = unpaced) on -replay-concurrency workers, looping the log -loops
+// times, and writes a JSON summary — achieved throughput, latency
+// percentiles, succeeded/failed/shed counts — to -json ("-" or empty =
+// stdout). -genlog writes a synthetic query log instead: patterns
+// extracted from a -dataset/-records corpus, sampled with Zipf skew
+// -skew (hot queries repeat, like production traffic).
+//
+// Exit codes: 0 success, 1 data/experiment error or unreachable replay
+// server, 2 usage (including an unreadable or malformed -replay log),
+// 3 timeout (-timeout elapsed before the run finished), 4 corrupt index
+// snapshot.
 package main
 
 import (
@@ -55,6 +68,8 @@ func exitCode(err error) int {
 		return exitOK
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return exitTimeout
+	case errors.Is(err, bench.ErrBadLog):
+		return exitUsage
 	case errors.As(err, &corrupt):
 		return exitCorrupt
 	default:
@@ -80,11 +95,24 @@ func main() {
 		shards  = flag.Int("shards", 0, "shard count for -json (0 = GOMAXPROCS)")
 		workers = flag.Int("workers", 0, "concurrent shard builds for -json (0 = GOMAXPROCS)")
 		qcache  = flag.Int("query-cache", 0, "result-cache entries for the -json cached-vs-uncached pass (0 = default 1024)")
+
+		replay     = flag.String("replay", "", "replay this query log against a live xseqd (see -url, -rate, -loops)")
+		replayURL  = flag.String("url", "http://127.0.0.1:8080", "base URL of the xseqd to replay against")
+		rate       = flag.Float64("rate", 0, "target replay rate in queries/sec (0 = unpaced)")
+		replayConc = flag.Int("replay-concurrency", 8, "concurrent replay workers")
+		loops      = flag.Int("loops", 1, "times to replay the whole log")
+		genlog     = flag.String("genlog", "", "write a synthetic query log to this file ('-' = stdout) and exit")
+		genQueries = flag.Int("genlog-queries", 100, "query lines to write with -genlog")
+		skew       = flag.Float64("skew", 1.2, "zipf exponent for -genlog pattern sampling (<= 1 = uniform)")
 	)
 	flag.Parse()
 
 	if *shards < 0 || *workers < 0 || *qcache < 0 {
 		fmt.Fprintln(os.Stderr, "xseqbench: -shards, -workers, and -query-cache must be >= 0")
+		os.Exit(exitUsage)
+	}
+	if *rate < 0 || *replayConc < 0 || *loops < 0 || *genQueries < 0 {
+		fmt.Fprintln(os.Stderr, "xseqbench: -rate, -replay-concurrency, -loops, and -genlog-queries must be >= 0")
 		os.Exit(exitUsage)
 	}
 
@@ -100,6 +128,60 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *genlog != "" {
+		var sink io.Writer = os.Stdout
+		if *genlog != "-" {
+			f, err := os.Create(*genlog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+				os.Exit(exitData)
+			}
+			defer f.Close()
+			sink = f
+		}
+		n, err := bench.GenerateQueryLog(sink, bench.LogGenConfig{
+			Dataset: *dataset,
+			Records: *records,
+			Queries: *genQueries,
+			Skew:    *skew,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+			os.Exit(exitCode(err))
+		}
+		fmt.Fprintf(os.Stderr, "xseqbench: wrote %d queries to %s\n", n, *genlog)
+		return
+	}
+
+	if *replay != "" {
+		res, err := bench.Replay(bench.ReplayConfig{
+			URL:         *replayURL,
+			LogPath:     *replay,
+			Rate:        *rate,
+			Concurrency: *replayConc,
+			Loops:       *loops,
+			Context:     ctx,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+			os.Exit(exitCode(err))
+		}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+			os.Exit(exitData)
+		}
+		blob = append(blob, '\n')
+		if *jsonOut == "" || *jsonOut == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "xseqbench: %v\n", err)
+			os.Exit(exitData)
+		}
+		return
 	}
 
 	if *jsonOut != "" {

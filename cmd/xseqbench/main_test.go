@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"xseq"
+	"xseq/internal/bench"
 )
 
 func TestExitCodeClassification(t *testing.T) {
@@ -21,6 +24,7 @@ func TestExitCodeClassification(t *testing.T) {
 		{"wrapped deadline", fmt.Errorf("table7: %w", context.DeadlineExceeded), exitTimeout},
 		{"cancelled", context.Canceled, exitTimeout},
 		{"corrupt", fmt.Errorf("load: %w", &xseq.CorruptError{Reason: "bit flip"}), exitCorrupt},
+		{"bad replay log", fmt.Errorf("replay: %w", bench.ErrBadLog), exitUsage},
 	}
 	for _, c := range cases {
 		if got := exitCode(c.err); got != c.want {
@@ -34,4 +38,53 @@ func TestExitCodesDistinct(t *testing.T) {
 	if len(codes) != 5 {
 		t.Fatalf("exit codes collide: %v", codes)
 	}
+}
+
+// TestReplayExitPaths exercises the exit-code contract of -replay end to
+// end through the bench entry points the CLI calls: an unreadable or
+// malformed log is a usage error (2), an unreachable server is a data
+// error (1), and a blown deadline is a timeout (3).
+func TestReplayExitPaths(t *testing.T) {
+	t.Run("missing log", func(t *testing.T) {
+		_, err := bench.Replay(bench.ReplayConfig{URL: "http://127.0.0.1:1", LogPath: filepath.Join(t.TempDir(), "nope.log")})
+		if got := exitCode(err); got != exitUsage {
+			t.Fatalf("missing log: exitCode = %d (err %v), want %d", got, err, exitUsage)
+		}
+	})
+	t.Run("malformed log", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "bad.log")
+		if err := os.WriteFile(path, []byte("{not json\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := bench.Replay(bench.ReplayConfig{URL: "http://127.0.0.1:1", LogPath: path})
+		if got := exitCode(err); got != exitUsage {
+			t.Fatalf("malformed log: exitCode = %d (err %v), want %d", got, err, exitUsage)
+		}
+	})
+	t.Run("unreachable server", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "ok.log")
+		if err := os.WriteFile(path, []byte("/a/b\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Port 1 is reserved; nothing listens there.
+		_, err := bench.Replay(bench.ReplayConfig{URL: "http://127.0.0.1:1", LogPath: path})
+		if err == nil {
+			t.Fatal("expected unreachable-server error")
+		}
+		if got := exitCode(err); got != exitData {
+			t.Fatalf("unreachable: exitCode = %d (err %v), want %d", got, err, exitData)
+		}
+	})
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := bench.Replay(bench.ReplayConfig{
+			URL:     "http://127.0.0.1:1",
+			Queries: []string{"/a/b"},
+			Context: ctx,
+		})
+		if got := exitCode(err); got != exitTimeout {
+			t.Fatalf("deadline: exitCode = %d (err %v), want %d", got, err, exitTimeout)
+		}
+	})
 }

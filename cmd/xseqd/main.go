@@ -55,8 +55,12 @@
 //
 // The -chaos-* flags arm per-route fault injection on /query (latency,
 // errors, panics) for resilience drills; all default to off. -pprof serves
-// net/http/pprof on a separate private listener (off by default) so heap
-// and CPU profiles are reachable without exposing them on the query port.
+// net/http/pprof and the Prometheus /metrics export on a separate private
+// listener (off by default) so profiles and metric scrapes are reachable
+// without exposing them on the query port. -trace-log appends one
+// structured JSON line per query — trace id, per-shard latency spans,
+// fan-out/merge split, kernel counters, cache hit/miss — which
+// xseqbench -replay can drive back against a live server.
 package main
 
 import (
@@ -121,7 +125,9 @@ func main() {
 		layout   = flag.String("layout", "", "require the snapshot (and every reload) to have this layout: monolithic, sharded, or flat (\"\" = accept any)")
 		workers  = flag.Int("workers", 0, "cap OS threads executing Go code, the parallelism of sharded query fan-out (0 = GOMAXPROCS default)")
 		qcache   = flag.Int("query-cache", 0, "cache up to this many query results per snapshot, invalidated on reload (0 = no cache); hit rates in /stats")
-		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); keep it private — off by default")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060); keep it private — off by default")
+		traceLog = flag.String("trace-log", "", "append one structured JSON line per query (trace id, per-shard latency, fan-out/merge split, cache hit/miss) to this file; '-' = stderr")
+		topK     = flag.Int("pattern-topk", 0, "track this many hot query patterns in /stats (0 = default 64)")
 
 		walPath   = flag.String("wal", "", "primary mode: write-ahead log path; inserts are durable and replayed on restart")
 		walStrict = flag.Bool("wal-strict", false, "refuse a torn or corrupt WAL tail at startup (exit 4) instead of truncating it")
@@ -183,6 +189,20 @@ func main() {
 		ExpectShards:           *shards,
 		ExpectLayout:           *layout,
 		QueryCacheEntries:      *qcache,
+		PatternTopK:            *topK,
+	}
+	if *traceLog != "" {
+		if *traceLog == "-" {
+			cfg.TraceLog = os.Stderr
+		} else {
+			f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xseqd: -trace-log: %v\n", err)
+				os.Exit(exitFailure)
+			}
+			defer f.Close()
+			cfg.TraceLog = f
+		}
 	}
 	if *chaosLatencyEvery > 0 || *chaosErrorEvery > 0 || *chaosPanicEvery > 0 {
 		faults := server.ChaosFaults{}
@@ -221,8 +241,11 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Prometheus export rides the same private listener: scrapers reach
+		// it on the operations port, never the query port.
+		mux.Handle("/metrics", srv.MetricsHandler())
 		go func() {
-			log.Printf("xseqd: pprof on http://%s/debug/pprof/", *pprofOn)
+			log.Printf("xseqd: pprof on http://%s/debug/pprof/, metrics on http://%s/metrics", *pprofOn, *pprofOn)
 			if err := http.ListenAndServe(*pprofOn, mux); err != nil {
 				log.Printf("xseqd: pprof listener failed: %v", err)
 				os.Exit(1)

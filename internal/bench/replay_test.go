@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReadQueryLog(t *testing.T) {
+	in := strings.Join([]string{
+		"# a comment",
+		"",
+		"/site/regions",
+		`{"trace":"00deadbeef00","q":"//item/name","elapsed_ms":0.2}`,
+		"  //keyword  ",
+	}, "\n")
+	qs, err := ReadQueryLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/site/regions", "//item/name", "//keyword"}
+	if len(qs) != len(want) {
+		t.Fatalf("got %d queries %v, want %v", len(qs), qs, want)
+	}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Errorf("query %d: got %q, want %q", i, qs[i], want[i])
+		}
+	}
+}
+
+func TestReadQueryLogBad(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "# only comments\n\n",
+		"bad json":       "{not json}\n",
+		"json missing q": `{"trace":"ab"}` + "\n",
+		"bad pattern":    "not a pattern at all >>>\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadQueryLog(strings.NewReader(in)); !errors.Is(err, ErrBadLog) {
+			t.Errorf("%s: err = %v, want ErrBadLog", name, err)
+		}
+	}
+}
+
+func TestLoadQueryLogMissing(t *testing.T) {
+	if _, err := LoadQueryLog(t.TempDir() + "/absent.log"); !errors.Is(err, ErrBadLog) {
+		t.Fatalf("err = %v, want ErrBadLog", err)
+	}
+}
+
+// fakeXseqd mimics just enough of the server surface for replay: /healthz
+// and /query with a JSON count, plus optional 429 shedding.
+func fakeXseqd(t *testing.T, shedEvery int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var queries atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		n := queries.Add(1)
+		if shedEvery > 0 && n%int64(shedEvery) == 0 {
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"count":%d,"ids":[1,2]}`, 2)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &queries
+}
+
+func TestReplayDeterministicCounts(t *testing.T) {
+	srv, _ := fakeXseqd(t, 0)
+	cfg := ReplayConfig{
+		URL:         srv.URL,
+		Queries:     []string{"/a/b", "//c", "/a/*"},
+		Loops:       3,
+		Concurrency: 4,
+	}
+	first, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Queries != 9 || second.Queries != 9 {
+		t.Fatalf("query counts: first %d, second %d, want 9 (3 queries x 3 loops)", first.Queries, second.Queries)
+	}
+	if first.Distinct != 3 || second.Distinct != 3 {
+		t.Fatalf("distinct: first %d, second %d, want 3", first.Distinct, second.Distinct)
+	}
+	if first.Succeeded != second.Succeeded || first.TotalResults != second.TotalResults {
+		t.Fatalf("replays diverged: first %+v, second %+v", first, second)
+	}
+	if first.Succeeded != 9 || first.TotalResults != 18 {
+		t.Fatalf("succeeded %d / results %d, want 9 / 18", first.Succeeded, first.TotalResults)
+	}
+	if first.AchievedQPS <= 0 || first.P50NS <= 0 || first.P99NS < first.P50NS {
+		t.Fatalf("implausible latency summary: %+v", first)
+	}
+}
+
+func TestReplayCountsSheds(t *testing.T) {
+	srv, _ := fakeXseqd(t, 2) // every 2nd request is shed
+	res, err := Replay(ReplayConfig{
+		URL:         srv.URL,
+		Queries:     []string{"/a/b"},
+		Loops:       10,
+		Concurrency: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 5 || res.Succeeded != 5 || res.Failed != 0 {
+		t.Fatalf("succeeded/shed/failed = %d/%d/%d, want 5/5/0", res.Succeeded, res.Shed, res.Failed)
+	}
+}
+
+func TestReplayPacing(t *testing.T) {
+	srv, _ := fakeXseqd(t, 0)
+	// 20 queries at 100 qps: at least ~190ms of schedule to get through.
+	start := time.Now()
+	res, err := Replay(ReplayConfig{
+		URL:         srv.URL,
+		Queries:     []string{"/a"},
+		Loops:       20,
+		Rate:        100,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("paced replay finished in %v; pacing not applied", elapsed)
+	}
+	if res.AchievedQPS > 150 {
+		t.Fatalf("achieved %.1f qps at a 100 qps target", res.AchievedQPS)
+	}
+}
+
+func TestReplayDeadline(t *testing.T) {
+	srv, _ := fakeXseqd(t, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := Replay(ReplayConfig{
+		URL:     srv.URL,
+		Queries: []string{"/a"},
+		Loops:   100000,
+		Rate:    10, // schedule stretches far past the deadline
+		Context: ctx,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestGenerateQueryLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := LogGenConfig{Dataset: "xmark", Records: 60, Queries: 40, Skew: 1.3, Seed: 7}
+	n, err := GenerateQueryLog(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("wrote %d queries, want 40", n)
+	}
+	if !strings.HasPrefix(buf.String(), "#") {
+		t.Fatalf("log should start with a comment header:\n%s", buf.String())
+	}
+	qs, err := ReadQueryLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("generated log failed to parse: %v", err)
+	}
+	if len(qs) != 40 {
+		t.Fatalf("parsed %d queries, want 40", len(qs))
+	}
+
+	// Same config, same bytes: the generator is deterministic.
+	var again bytes.Buffer
+	if _, err := GenerateQueryLog(&again, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("generator is not deterministic for a fixed config")
+	}
+
+	// Skewed sampling should repeat hot patterns.
+	counts := make(map[string]int)
+	for _, q := range qs {
+		counts[q]++
+	}
+	if len(counts) >= 40 {
+		t.Fatalf("skew 1.3 produced %d distinct patterns out of 40 draws; expected repeats", len(counts))
+	}
+}

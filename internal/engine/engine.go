@@ -36,6 +36,14 @@ import (
 var ErrUnsupported = errors.New("operation not supported by this index layout")
 
 // QueryOptions tweaks one query execution.
+//
+// Observability rides on the query context, not on this struct: a server
+// attaches a pooled telemetry.Trace with telemetry.WithTrace, leaf kernels
+// (monolithic, flat) record their QueryStats counters into it, the shard
+// fan-out appends per-shard spans and its fan-out/merge timing split, and
+// the query cache marks hit or miss. Engines treat an absent trace as
+// "telemetry off" and skip all recording, so embedded library use pays
+// nothing.
 type QueryOptions struct {
 	// Naive disables the sibling-cover constraint test, performing the
 	// naive subsequence matching of Section 4.2 — may return false alarms.

@@ -13,6 +13,7 @@ import (
 	"xseq/internal/pathenc"
 	"xseq/internal/query"
 	"xseq/internal/sequence"
+	"xseq/internal/telemetry"
 	"xseq/internal/xmltree"
 )
 
@@ -40,6 +41,18 @@ func (ix *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo en
 	}
 	scr := getScratch(ix.meta.MaxDocID)
 	defer putScratch(scr)
+	// Context-borne traces observe the kernel counters through the pooled
+	// scratch, exactly as the heap kernel does (see internal/index).
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		if qo.Stats == nil {
+			scr.tstats = engine.QueryStats{}
+			qo.Stats = &scr.tstats
+		}
+		st := qo.Stats
+		defer func() {
+			tr.AddKernel(st.Instances, st.Orders, st.LinkProbes, st.EntriesScanned, st.CoverChecks, st.CoverRejections)
+		}()
+	}
 	insts := pat.InstantiateScratch(ix.enc, ix.ci, ix.meta.InstantiationLimit, &scr.inst)
 	res := resultSet{scr: scr, ids: scr.ids[:0], limit: qo.MaxResults, stats: qo.Stats, ctx: ctx}
 	enumLimit := ix.meta.OrderEnumerationLimit

@@ -95,6 +95,7 @@ type queryScratch struct {
 	docBuf []int32
 	ids    []int32
 	inst   query.Scratch
+	tstats engine.QueryStats // kernel counters for a context-borne trace
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}

@@ -27,6 +27,7 @@ import (
 	"xseq/internal/pathenc"
 	"xseq/internal/query"
 	"xseq/internal/sequence"
+	"xseq/internal/telemetry"
 	"xseq/internal/trie"
 	"xseq/internal/xmltree"
 )
@@ -376,6 +377,20 @@ func (ix *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo Qu
 	}
 	scr := getScratch(ix.maxDocID)
 	defer putScratch(scr)
+	// A context-borne trace observes the kernel counters without the caller
+	// asking for stats: route them through the pooled scratch (so tracing
+	// stays off the allocation budget) and merge into the trace on the way
+	// out. When the caller did pass Stats the same numbers serve both.
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		if qo.Stats == nil {
+			scr.tstats = QueryStats{}
+			qo.Stats = &scr.tstats
+		}
+		st := qo.Stats
+		defer func() {
+			tr.AddKernel(st.Instances, st.Orders, st.LinkProbes, st.EntriesScanned, st.CoverChecks, st.CoverRejections)
+		}()
+	}
 	insts := pat.InstantiateScratch(ix.enc, ix.ci, ix.opts.InstantiationLimit, &scr.inst)
 	res := resultSet{scr: scr, ids: scr.ids[:0], limit: qo.MaxResults, stats: qo.Stats, ctx: ctx}
 	enumLimit := ix.opts.OrderEnumerationLimit

@@ -34,6 +34,7 @@ type queryScratch struct {
 	docBuf []int32       // collectDocs buffer for terminal ranges
 	ids    []int32       // result accumulation buffer
 	inst   query.Scratch // wildcard-instantiation buffers
+	tstats QueryStats    // kernel counters for a context-borne trace
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}

@@ -29,6 +29,7 @@ import (
 
 	"xseq/internal/engine"
 	"xseq/internal/query"
+	"xseq/internal/telemetry"
 	"xseq/internal/xmltree"
 )
 
@@ -138,11 +139,18 @@ func (c *Cache) QueryWithContext(ctx context.Context, pat *query.Pattern, qo eng
 	}
 	key := cacheKey(pat, qo)
 	gen := c.inner.Generation()
+	tr := telemetry.TraceFrom(ctx)
 	if ids, ok := c.lookup(key, gen); ok {
 		c.hits.Add(1)
+		if tr != nil {
+			tr.SetCache(true)
+		}
 		return ids, nil
 	}
 	c.misses.Add(1)
+	if tr != nil {
+		tr.SetCache(false)
+	}
 	ids, err := c.inner.QueryWithContext(ctx, pat, qo)
 	if err != nil {
 		return nil, err

@@ -22,11 +22,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"xseq"
 	"xseq/internal/query"
+	"xseq/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value of every field means "use the
@@ -116,6 +116,15 @@ type Config struct {
 	// Chaos, when non-empty, injects per-route faults (latency, errors,
 	// panics) for resilience drills; leave nil in production.
 	Chaos Chaos
+	// TraceLog, when non-nil, receives one structured JSON line per
+	// completed query: trace id, per-shard latency spans, fan-out/merge
+	// split, kernel instance/order counts, and cache hit/miss. Writes are
+	// serialized by the server; the writer itself need not be safe for
+	// concurrent use. xseqd wires -trace-log here.
+	TraceLog io.Writer
+	// PatternTopK bounds the per-pattern query-frequency table surfaced in
+	// /stats (default 64 patterns, space-saving eviction).
+	PatternTopK int
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 
@@ -184,10 +193,19 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	queries     atomic.Int64
-	queryErrors atomic.Int64
-	inserts     atomic.Int64
-	insertErrs  atomic.Int64
+	// Telemetry: the registry every metric surfaces through (/metrics and
+	// the computed /stats sections read the same state). The four counters
+	// are registry-native; latency histograms register lazily per layout.
+	reg         *telemetry.Registry
+	queries     *telemetry.Counter
+	queryErrors *telemetry.Counter
+	inserts     *telemetry.Counter
+	insertErrs  *telemetry.Counter
+	shardLat    *telemetry.Histogram
+	patterns    *telemetry.TopK
+	latMu       sync.Mutex
+	latency     map[string]*telemetry.Histogram
+	traceMu     sync.Mutex // serializes Config.TraceLog writes
 
 	mu             sync.Mutex
 	loadedAt       time.Time
@@ -238,6 +256,7 @@ func New(cfg Config) (*Server, error) {
 		dr:      &drainer{},
 		started: time.Now(),
 	}
+	s.initTelemetry()
 	switch {
 	case cfg.FollowURL != "" || cfg.WALPath != "":
 		// A checkpoint on disk seeds the index before WAL replay: load it,
@@ -393,7 +412,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Pre-parse so malformed queries are the client's 400, not a 500 —
 	// the facade re-parses, but parsing is microseconds against a match.
-	if _, err := query.Parse(q); err != nil {
+	// The parsed pattern's canonical String() keys the frequency table.
+	pat, err := query.Parse(q)
+	if err != nil {
+		s.queryErrors.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -446,34 +468,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		hook(ctx)
 	}
 
+	// Every query runs traced: the pooled trace feeds the latency
+	// histograms, the per-shard span histogram, and the pattern table
+	// whether or not a trace log is armed — a pool fetch plus a context
+	// value is too cheap to gate behind a flag.
 	ix := s.index()
+	layout := s.layoutName()
+	tr := telemetry.GetTrace()
+	qctx := telemetry.WithTrace(ctx, tr)
 	start := time.Now()
 	var ids []int32
-	var err error
 	switch {
 	case verify:
-		ids, err = ix.QueryVerifiedContext(ctx, q)
+		ids, err = ix.QueryVerifiedContext(qctx, q)
 	case limit > 0:
-		ids, err = ix.QueryLimitContext(ctx, q, limit)
+		ids, err = ix.QueryLimitContext(qctx, q, limit)
 	default:
-		ids, err = ix.QueryContext(ctx, q)
+		ids, err = ix.QueryContext(qctx, q)
 	}
 	elapsed := time.Since(start)
 	s.queries.Add(1)
+	status := http.StatusOK
+	var errMsg string
 	if err != nil {
 		s.queryErrors.Add(1)
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout,
-				fmt.Sprintf("query deadline exceeded after %v", elapsed.Round(time.Millisecond)))
+			status = http.StatusGatewayTimeout
+			errMsg = fmt.Sprintf("query deadline exceeded after %v", elapsed.Round(time.Millisecond))
 		case errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, "query cancelled (drain or client disconnect)")
+			status = http.StatusServiceUnavailable
+			errMsg = "query cancelled (drain or client disconnect)"
 		case strings.Contains(err.Error(), "KeepDocuments"):
-			writeError(w, http.StatusBadRequest, "verify=1 requires a snapshot built with KeepDocuments")
+			status = http.StatusBadRequest
+			errMsg = "verify=1 requires a snapshot built with KeepDocuments"
 		default:
 			s.cfg.Logf("server: query %q failed: %v", q, err)
-			writeError(w, http.StatusInternalServerError, err.Error())
+			status = http.StatusInternalServerError
+			errMsg = err.Error()
 		}
+	}
+	s.observeQuery(pat, q, layout, elapsed, tr, status, len(ids))
+	telemetry.PutTrace(tr)
+	if err != nil {
+		writeError(w, status, errMsg)
 		return
 	}
 	if ids == nil {
@@ -563,10 +601,17 @@ type statsResponse struct {
 	Checkpoint *checkpointStat `json:"checkpoint,omitempty"`
 	// Replication is present in follower mode.
 	Replication *replicationStatus `json:"replication,omitempty"`
-	Queries     int64              `json:"queries"`
-	Errors      int64              `json:"query_errors"`
-	UptimeMS    float64            `json:"uptime_ms"`
-	Draining    bool               `json:"draining"`
+	// Latency reports per-layout query latency percentiles computed from
+	// the registry's histograms; present once a query has been served.
+	Latency map[string]latencyStat `json:"latency,omitempty"`
+	// QueryPatterns is the bounded top-K table of canonical pattern
+	// frequencies — the observed-workload input the paper's §5 adaptive
+	// re-weighting consumes.
+	QueryPatterns []telemetry.PatternCount `json:"query_patterns,omitempty"`
+	Queries       int64                    `json:"queries"`
+	Errors        int64                    `json:"query_errors"`
+	UptimeMS      float64                  `json:"uptime_ms"`
+	Draining      bool                     `json:"draining"`
 }
 
 // ingestStat is the /stats section for dynamic modes: insert counters and
@@ -809,6 +854,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Checkpoint = s.ckpt.stat()
 	}
 	resp.Replication = s.replicationStat()
+	resp.Latency = s.latencyStats()
+	resp.QueryPatterns = s.patterns.Snapshot()
 	resp.Queries = s.queries.Load()
 	resp.Errors = s.queryErrors.Load()
 	resp.UptimeMS = float64(time.Since(s.started)) / float64(time.Millisecond)

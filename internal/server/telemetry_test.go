@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a trace-log sink safe for handler goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// metricsBody runs the server's /metrics handler and returns the text
+// exposition.
+func metricsBody(t *testing.T, srv *Server) string {
+	t.Helper()
+	mts := httptest.NewServer(srv.MetricsHandler())
+	defer mts.Close()
+	resp, err := http.Get(mts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// metricValue extracts the value of the first sample whose name+labels
+// prefix matches.
+func metricValue(t *testing.T, body, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			fields := strings.Fields(line)
+			var v float64
+			if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no metric with prefix %q in:\n%s", prefix, body)
+	return 0
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, 5, nil)
+	for i := 0; i < 4; i++ {
+		if code, _, body := getQuery(t, ts.URL, "q="+matchAll); code != 200 {
+			t.Fatalf("query %d: %d %s", i, code, body)
+		}
+	}
+	// One parse error to move the error counter.
+	if code, _ := get(t, ts.URL+"/query?q=%3E%3E%3E"); code != http.StatusBadRequest {
+		t.Fatalf("bad query returned %d, want 400", code)
+	}
+
+	body := metricsBody(t, srv)
+	if got := metricValue(t, body, "xseq_queries_total"); got != 4 {
+		t.Errorf("xseq_queries_total = %g, want 4", got)
+	}
+	if got := metricValue(t, body, "xseq_query_errors_total"); got != 1 {
+		t.Errorf("xseq_query_errors_total = %g, want 1", got)
+	}
+	if got := metricValue(t, body, `xseq_query_duration_seconds_count{layout="monolithic"}`); got != 4 {
+		t.Errorf("monolithic latency count = %g, want 4", got)
+	}
+	if got := metricValue(t, body, "xseq_index_documents"); got != 5 {
+		t.Errorf("xseq_index_documents = %g, want 5", got)
+	}
+	for _, series := range []string{
+		`xseq_query_duration_seconds_bucket{layout="monolithic",le="+Inf"}`,
+		"xseq_query_duration_seconds_sum",
+		"xseq_shard_query_duration_seconds_count",
+		"xseq_admission_slots",
+		"xseq_admission_admitted_total",
+		"xseq_query_patterns_tracked",
+		"# HELP xseq_queries_total",
+		"# TYPE xseq_query_duration_seconds histogram",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+}
+
+func TestStatsLatencyAndPatterns(t *testing.T) {
+	_, ts := newTestServer(t, 3, nil)
+	for i := 0; i < 3; i++ {
+		getQuery(t, ts.URL, "q="+matchAll)
+	}
+	getQuery(t, ts.URL, "q=/rec/title")
+
+	code, body := get(t, ts.URL+"/stats")
+	if code != 200 {
+		t.Fatalf("/stats: %d %s", code, body)
+	}
+	var st struct {
+		Latency map[string]struct {
+			Count int64   `json:"count"`
+			P50MS float64 `json:"p50_ms"`
+			P99MS float64 `json:"p99_ms"`
+		} `json:"latency"`
+		QueryPatterns []struct {
+			Pattern string `json:"pattern"`
+			Count   int64  `json:"count"`
+		} `json:"query_patterns"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad /stats body: %v\n%s", err, body)
+	}
+	lat, ok := st.Latency["monolithic"]
+	if !ok || lat.Count != 4 {
+		t.Fatalf("latency[monolithic] = %+v (ok=%v), want count 4", lat, ok)
+	}
+	if lat.P50MS < 0 || lat.P99MS < lat.P50MS {
+		t.Fatalf("implausible percentiles: %+v", lat)
+	}
+	if len(st.QueryPatterns) != 2 {
+		t.Fatalf("query_patterns = %+v, want 2 entries", st.QueryPatterns)
+	}
+	if st.QueryPatterns[0].Count != 3 {
+		t.Fatalf("hottest pattern %+v, want count 3 first", st.QueryPatterns[0])
+	}
+}
+
+func TestTraceLogLines(t *testing.T) {
+	var sink syncBuffer
+	_, ts := newTestServer(t, 4, func(c *Config) { c.TraceLog = &sink })
+	getQuery(t, ts.URL, "q="+matchAll)
+	getQuery(t, ts.URL, "q="+matchAll+"&limit=2")
+
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d trace lines, want 2:\n%s", len(lines), sink.String())
+	}
+	seen := make(map[string]bool)
+	for _, line := range lines {
+		var rec struct {
+			Trace     string  `json:"trace"`
+			Q         string  `json:"q"`
+			Layout    string  `json:"layout"`
+			Status    int     `json:"status"`
+			Results   int     `json:"results"`
+			ElapsedMS float64 `json:"elapsed_ms"`
+			Instances int64   `json:"instances"`
+			Orders    int64   `json:"orders"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if len(rec.Trace) != 16 || seen[rec.Trace] {
+			t.Errorf("trace id %q: want 16 hex chars, unique per request", rec.Trace)
+		}
+		seen[rec.Trace] = true
+		if rec.Q != matchAll || rec.Layout != "monolithic" || rec.Status != 200 {
+			t.Errorf("trace line %+v: wrong q/layout/status", rec)
+		}
+		if rec.Instances < 1 || rec.Orders < 1 {
+			t.Errorf("trace line %+v: kernel counters not recorded", rec)
+		}
+	}
+}
+
+// TestTraceLogShardedSpans replays against a sharded snapshot and checks
+// the per-shard spans on each trace line carry the line's own trace id.
+func TestTraceLogShardedSpans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sharded.idx")
+	buildShardedSnapshot(t, path, 12, 4)
+	var sink syncBuffer
+	srv, err := New(Config{IndexPath: path, Logf: silentLogf, TraceLog: &sink, DefaultTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if code, _, body := getQuery(t, ts.URL, "q="+matchAll); code != 200 {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	var rec struct {
+		Trace    string  `json:"trace"`
+		Layout   string  `json:"layout"`
+		FanoutMS float64 `json:"fanout_ms"`
+		Shards   []struct {
+			Trace   string  `json:"trace"`
+			Shard   int32   `json:"shard"`
+			Results int32   `json:"results"`
+			MS      float64 `json:"ms"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sink.String())), &rec); err != nil {
+		t.Fatalf("bad trace line: %v\n%s", err, sink.String())
+	}
+	if rec.Layout != "sharded" {
+		t.Errorf("layout = %q, want sharded", rec.Layout)
+	}
+	if len(rec.Shards) != 4 {
+		t.Fatalf("trace line has %d spans, want 4:\n%s", len(rec.Shards), sink.String())
+	}
+	for _, sp := range rec.Shards {
+		if sp.Trace != rec.Trace {
+			t.Errorf("span shard %d trace %q != request trace %q", sp.Shard, sp.Trace, rec.Trace)
+		}
+	}
+	if rec.FanoutMS <= 0 {
+		t.Errorf("fanout_ms = %g, want > 0", rec.FanoutMS)
+	}
+
+	body := metricsBody(t, srv)
+	if got := metricValue(t, body, "xseq_shard_query_duration_seconds_count"); got != 4 {
+		t.Errorf("per-shard latency samples = %g, want 4", got)
+	}
+}
+
+// TestTelemetryHammer races traced queries, /stats, and /metrics scrapes;
+// meaningful mostly under -race.
+func TestTelemetryHammer(t *testing.T) {
+	var sink syncBuffer
+	srv, ts := newTestServer(t, 4, func(c *Config) { c.TraceLog = &sink })
+	mts := httptest.NewServer(srv.MetricsHandler())
+	defer mts.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch g % 3 {
+				case 0:
+					http.Get(ts.URL + "/query?q=" + matchAll)
+				case 1:
+					http.Get(ts.URL + "/stats")
+				default:
+					http.Get(mts.URL + "/")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -27,10 +27,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xseq/internal/engine"
 	"xseq/internal/index"
 	"xseq/internal/query"
+	"xseq/internal/telemetry"
 	"xseq/internal/xmltree"
 )
 
@@ -359,8 +361,20 @@ func (s *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo ind
 	if len(fs.live) == 0 {
 		return nil, nil
 	}
+	// A context-borne trace gets one span per shard slice (stamped with the
+	// request's trace id inside AddSpan) plus the fan-out/merge wall-time
+	// split. Kernel counters are recorded by the leaf engines themselves
+	// through the same context, so nothing is double counted here.
+	tr := telemetry.TraceFrom(ctx)
 	if len(fs.live) == 1 {
-		return s.shards[fs.live[0]].QueryWithContext(ctx, pat, qo)
+		i := fs.live[0]
+		if tr == nil {
+			return s.shards[i].QueryWithContext(ctx, pat, qo)
+		}
+		spanStart := time.Now()
+		ids, err := s.shards[i].QueryWithContext(ctx, pat, qo)
+		tr.AddSpan(int32(i), int32(len(ids)), time.Since(spanStart).Nanoseconds())
+		return ids, err
 	}
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -370,6 +384,10 @@ func (s *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo ind
 		found   atomic.Int64
 		wg      sync.WaitGroup
 	)
+	var fanStart time.Time
+	if tr != nil {
+		fanStart = time.Now()
+	}
 	for _, i := range fs.live {
 		wg.Add(1)
 		go func(i int) {
@@ -384,7 +402,14 @@ func (s *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo ind
 			if qo.Stats != nil {
 				sqo.Stats = &stats[i]
 			}
+			var spanStart time.Time
+			if tr != nil {
+				spanStart = time.Now()
+			}
 			ids, err := s.shards[i].QueryWithContext(fctx, pat, sqo)
+			if tr != nil {
+				tr.AddSpan(int32(i), int32(len(ids)), time.Since(spanStart).Nanoseconds())
+			}
 			results[i] = shardResult{ids: ids, err: err}
 			if err != nil {
 				if !errors.Is(err, context.Canceled) {
@@ -398,6 +423,9 @@ func (s *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo ind
 		}(i)
 	}
 	wg.Wait()
+	if tr != nil {
+		tr.SetFanoutNS(time.Since(fanStart).Nanoseconds())
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -429,7 +457,14 @@ func (s *Index) QueryWithContext(ctx context.Context, pat *query.Pattern, qo ind
 	}
 	var out []int32
 	if total > 0 {
+		var mergeStart time.Time
+		if tr != nil {
+			mergeStart = time.Now()
+		}
 		out = engine.MergeAscending(fs.lists, make([]int32, 0, total), qo.MaxResults)
+		if tr != nil {
+			tr.SetMergeNS(time.Since(mergeStart).Nanoseconds())
+		}
 	}
 	if qo.Stats != nil {
 		for i := range stats {

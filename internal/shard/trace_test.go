@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"xseq/internal/engine"
+	"xseq/internal/query"
+	"xseq/internal/telemetry"
+)
+
+func mustPattern(t testing.TB, q string) *query.Pattern {
+	t.Helper()
+	pat, err := query.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pat
+}
+
+// TestTraceSpansCarryRequestID checks the core trace invariant: every
+// per-shard span recorded during a fan-out belongs to the request's own
+// trace, and the fan-out/merge timing split is populated.
+func TestTraceSpansCarryRequestID(t *testing.T) {
+	s := buildSharded(t, xmarkDocs(t, 80), 4, 0, false)
+	pat := mustPattern(t, "//item/name")
+
+	tr := telemetry.GetTrace()
+	defer telemetry.PutTrace(tr)
+	ctx := telemetry.WithTrace(context.Background(), tr)
+	ids, err := s.QueryWithContext(ctx, pat, engine.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want one per shard (4)", len(spans))
+	}
+	seenShards := make(map[int32]bool)
+	total := 0
+	for _, sp := range spans {
+		if sp.TraceID != tr.ID {
+			t.Errorf("span for shard %d carries trace %x, want %x", sp.Shard, sp.TraceID, tr.ID)
+		}
+		if sp.DurNS < 0 {
+			t.Errorf("span for shard %d has negative duration %d", sp.Shard, sp.DurNS)
+		}
+		if seenShards[sp.Shard] {
+			t.Errorf("shard %d recorded two spans", sp.Shard)
+		}
+		seenShards[sp.Shard] = true
+		total += int(sp.Results)
+	}
+	if total != len(ids) {
+		t.Errorf("span results sum to %d, merged answer has %d", total, len(ids))
+	}
+	if tr.FanoutNS() <= 0 {
+		t.Error("fan-out duration not recorded")
+	}
+	if tr.MergeNS() < 0 {
+		t.Error("merge duration negative")
+	}
+}
+
+// TestTraceSingleShardSpan checks the non-fan-out path: a one-shard index
+// still records a span so per-shard latency series are never empty.
+func TestTraceSingleShardSpan(t *testing.T) {
+	s := buildSharded(t, xmarkDocs(t, 30), 1, 0, false)
+	tr := telemetry.GetTrace()
+	defer telemetry.PutTrace(tr)
+	ctx := telemetry.WithTrace(context.Background(), tr)
+	if _, err := s.QueryWithContext(ctx, mustPattern(t, "//item"), engine.QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].TraceID != tr.ID || spans[0].Shard != 0 {
+		t.Fatalf("span = %+v, want shard 0 with trace %x", spans[0], tr.ID)
+	}
+}
+
+// TestTraceFanoutHammer races many concurrent traced queries against the
+// same sharded index. Under -race this flushes out any sharing of trace
+// state between requests; functionally it asserts no span ever leaks into
+// another request's trace.
+func TestTraceFanoutHammer(t *testing.T) {
+	s := buildSharded(t, xmarkDocs(t, 60), 4, 0, false)
+	pats := []*query.Pattern{
+		mustPattern(t, "//item/name"),
+		mustPattern(t, "/site//keyword"),
+		mustPattern(t, "//listitem"),
+		mustPattern(t, "/site/regions"),
+	}
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tr := telemetry.GetTrace()
+				ctx := telemetry.WithTrace(context.Background(), tr)
+				_, err := s.QueryWithContext(ctx, pats[(g+i)%len(pats)], engine.QueryOptions{})
+				if err != nil {
+					errs <- err
+					telemetry.PutTrace(tr)
+					return
+				}
+				for _, sp := range tr.Spans() {
+					if sp.TraceID != tr.ID {
+						t.Errorf("goroutine %d iter %d: span trace %x != request trace %x", g, i, sp.TraceID, tr.ID)
+					}
+				}
+				if n := len(tr.Spans()); n != 4 {
+					t.Errorf("goroutine %d iter %d: %d spans, want 4", g, i, n)
+				}
+				telemetry.PutTrace(tr)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestUntracedQueryRecordsNothing confirms the zero-cost-off contract:
+// without a trace on the context, queries run and no spans exist anywhere
+// to be recorded.
+func TestUntracedQueryRecordsNothing(t *testing.T) {
+	s := buildSharded(t, xmarkDocs(t, 30), 2, 0, false)
+	if _, err := s.QueryWithContext(context.Background(), mustPattern(t, "//item"), engine.QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("xseq_test_total", "", "A test counter.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("Load = %d, want 5", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP xseq_test_total A test counter.\n",
+		"# TYPE xseq_test_total counter\n",
+		"xseq_test_total 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorEmitsGauges(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector(func(e *Emit) {
+		e.Gauge("xseq_gauge", Label("kind", "a"), "A gauge.", 1.5)
+		e.Gauge("xseq_gauge", Label("kind", "b"), "A gauge.", 2)
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE xseq_gauge gauge") != 1 {
+		t.Errorf("TYPE header not deduplicated:\n%s", out)
+	}
+	if !strings.Contains(out, `xseq_gauge{kind="a"} 1.5`) || !strings.Contains(out, `xseq_gauge{kind="b"} 2`) {
+		t.Errorf("label variants missing:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("xseq_lat_seconds", "", "Latency.")
+	// 100 samples at ~2µs, 10 at ~1ms, 1 at ~1s.
+	for i := 0; i < 100; i++ {
+		h.ObserveNS(1500)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(900 * time.Microsecond)
+	}
+	h.Observe(800 * time.Millisecond)
+	if got := h.Count(); got != 111 {
+		t.Fatalf("Count = %d, want 111", got)
+	}
+	// p50 lands in the 2µs bucket, p95 there too (100/111 > 0.90), p99
+	// in the ~1ms region, and the max sample caps below 2s.
+	if got := h.QuantileNS(0.50); got != 2000 {
+		t.Errorf("p50 = %d, want 2000", got)
+	}
+	if got := h.QuantileNS(0.99); got < 512_000 || got > 2_048_000 {
+		t.Errorf("p99 = %d, want ~1ms bucket", got)
+	}
+	if got := h.QuantileNS(1.0); got < 512_000_000 || got > 2_000_000_000 {
+		t.Errorf("p100 = %d, want ~1s bucket", got)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE xseq_lat_seconds histogram\n") {
+		t.Errorf("missing histogram TYPE:\n%s", out)
+	}
+	if !strings.Contains(out, `xseq_lat_seconds_bucket{le="+Inf"} 111`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "xseq_lat_seconds_count 111") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	// Buckets must be cumulative: the 2µs bucket holds all 100 fast
+	// samples, and every later bucket at least as many.
+	if !strings.Contains(out, `xseq_lat_seconds_bucket{le="2e-06"} 100`) {
+		t.Errorf("missing cumulative 2µs bucket:\n%s", out)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.QuantileNS(0.99); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {1000, 0}, {1001, 1}, {2000, 1}, {2001, 2},
+		{4000, 2}, {1 << 62, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveNS(int64(i) * 100)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}
+
+func TestTopKSpaceSaving(t *testing.T) {
+	tk := NewTopK(3)
+	for i := 0; i < 10; i++ {
+		tk.Record("hot")
+	}
+	for i := 0; i < 5; i++ {
+		tk.Record("warm")
+	}
+	tk.Record("cold1")
+	tk.Record("cold2") // evicts cold1 (min=1), inherits its count
+	snap := tk.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(snap))
+	}
+	if snap[0].Pattern != "hot" || snap[0].Count != 10 {
+		t.Errorf("heavy hitter lost: %+v", snap)
+	}
+	if snap[1].Pattern != "warm" || snap[1].Count != 5 {
+		t.Errorf("second hitter lost: %+v", snap)
+	}
+	if tk.Len() != 3 {
+		t.Errorf("Len = %d, want bounded 3", tk.Len())
+	}
+}
+
+func TestTopKDeterministicOrder(t *testing.T) {
+	tk := NewTopK(8)
+	for _, k := range []string{"b", "a", "c"} {
+		tk.Record(k)
+	}
+	snap := tk.Snapshot()
+	if snap[0].Pattern != "a" || snap[1].Pattern != "b" || snap[2].Pattern != "c" {
+		t.Fatalf("tie order not deterministic: %+v", snap)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := Label("q", `/a["x\y]`+"\n")
+	want := `q="/a[\"x\\y]\n"`
+	if got != want {
+		t.Fatalf("Label = %s, want %s", got, want)
+	}
+}

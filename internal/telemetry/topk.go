@@ -1,0 +1,92 @@
+package telemetry
+
+import "sync"
+
+// PatternCount is one entry of the top-K pattern-frequency table.
+type PatternCount struct {
+	Pattern string `json:"pattern"`
+	Count   int64  `json:"count"`
+}
+
+// TopK tracks approximate per-key frequencies in bounded memory using the
+// space-saving sketch (Metwally, Agrawal, El Abbadi 2005): at most k keys
+// are resident; when a new key arrives at capacity it evicts the
+// current minimum and inherits its count, so a key's reported count
+// overestimates its true frequency by at most the evicted minimum. Heavy
+// hitters — the input the paper's §5 w(C) re-weighting consumes — are
+// retained exactly; long-tail keys churn through the bottom slots.
+//
+// Record is called once per served query with the canonical
+// Pattern.String() key, far off the kernel hot path, so a plain mutex
+// over a small map is the right tool.
+type TopK struct {
+	mu sync.Mutex
+	k  int
+	m  map[string]int64
+}
+
+// NewTopK returns a table bounded to k keys (minimum 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, m: make(map[string]int64, k)}
+}
+
+// Record counts one occurrence of key.
+func (t *TopK) Record(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.m[key]; ok {
+		t.m[key] = c + 1
+		return
+	}
+	if len(t.m) < t.k {
+		t.m[key] = 1
+		return
+	}
+	minKey, minCount := "", int64(-1)
+	for k2, c := range t.m {
+		if minCount < 0 || c < minCount {
+			minKey, minCount = k2, c
+		}
+	}
+	delete(t.m, minKey)
+	t.m[key] = minCount + 1
+}
+
+// Len returns the number of resident keys.
+func (t *TopK) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Snapshot returns the table ordered by descending count, ties broken by
+// ascending key so the output is deterministic.
+func (t *TopK) Snapshot() []PatternCount {
+	t.mu.Lock()
+	out := make([]PatternCount, 0, len(t.m))
+	for k, c := range t.m {
+		out = append(out, PatternCount{Pattern: k, Count: c})
+	}
+	t.mu.Unlock()
+	sortPatternCounts(out)
+	return out
+}
+
+func sortPatternCounts(pcs []PatternCount) {
+	// Insertion sort: the table is bounded small (default 64 entries).
+	for i := 1; i < len(pcs); i++ {
+		for j := i; j > 0 && lessPattern(pcs[j], pcs[j-1]); j-- {
+			pcs[j], pcs[j-1] = pcs[j-1], pcs[j]
+		}
+	}
+}
+
+func lessPattern(a, b PatternCount) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Pattern < b.Pattern
+}

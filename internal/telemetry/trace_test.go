@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(empty) = %v, want nil", got)
+	}
+	tr := GetTrace()
+	defer PutTrace(tr)
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatalf("TraceFrom = %p, want %p", got, tr)
+	}
+}
+
+func TestTraceKernelAndSpanAccumulation(t *testing.T) {
+	tr := GetTrace()
+	defer PutTrace(tr)
+	tr.AddKernel(3, 2, 10, 20, 5, 1)
+	tr.AddKernel(1, 1, 5, 10, 2, 0)
+	if tr.Instances() != 4 || tr.Orders() != 3 || tr.LinkProbes() != 15 ||
+		tr.EntriesScanned() != 30 || tr.CoverChecks() != 7 || tr.CoverRejections() != 1 {
+		t.Fatalf("kernel counters wrong: %d %d %d %d %d %d",
+			tr.Instances(), tr.Orders(), tr.LinkProbes(), tr.EntriesScanned(), tr.CoverChecks(), tr.CoverRejections())
+	}
+	tr.AddSpan(2, 40, 1234)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Shard != 2 || spans[0].Results != 40 || spans[0].DurNS != 1234 {
+		t.Fatalf("span wrong: %+v", spans)
+	}
+	if spans[0].TraceID != tr.ID {
+		t.Fatalf("span trace id %d, want %d", spans[0].TraceID, tr.ID)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := GetTrace()
+	defer PutTrace(tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.AddSpan(int32(g), int32(i), int64(i))
+				tr.AddKernel(1, 0, 0, 0, 0, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("spans = %d, want 800", got)
+	}
+	if got := tr.Instances(); got != 800 {
+		t.Fatalf("instances = %d, want 800", got)
+	}
+	for _, sp := range tr.Spans() {
+		if sp.TraceID != tr.ID {
+			t.Fatalf("span carries trace id %d, want %d", sp.TraceID, tr.ID)
+		}
+	}
+}
+
+func TestTracePoolReset(t *testing.T) {
+	tr := GetTrace()
+	id := tr.ID
+	tr.AddKernel(1, 1, 1, 1, 1, 1)
+	tr.AddSpan(0, 1, 1)
+	tr.SetCache(true)
+	tr.SetFanoutNS(10)
+	tr.SetMergeNS(20)
+	PutTrace(tr)
+
+	tr2 := GetTrace()
+	defer PutTrace(tr2)
+	if tr2.Instances() != 0 || len(tr2.Spans()) != 0 || tr2.CacheState() != "" ||
+		tr2.FanoutNS() != 0 || tr2.MergeNS() != 0 {
+		t.Fatalf("pooled trace not reset: %+v", tr2)
+	}
+	if tr2.ID == 0 || (tr2 == tr && tr2.ID == id) {
+		t.Fatalf("pooled trace id not refreshed: %d", tr2.ID)
+	}
+}
+
+func TestTraceCacheStates(t *testing.T) {
+	var tr Trace
+	if tr.CacheState() != "" {
+		t.Fatalf("zero trace cache state = %q", tr.CacheState())
+	}
+	tr.SetCache(false)
+	if tr.CacheState() != "miss" {
+		t.Fatalf("after miss: %q", tr.CacheState())
+	}
+	tr.SetCache(true)
+	if tr.CacheState() != "hit" {
+		t.Fatalf("after hit: %q", tr.CacheState())
+	}
+}
+
+func TestIDStringRoundTrip(t *testing.T) {
+	id := NextID()
+	s := IDString(id)
+	if len(s) != 16 {
+		t.Fatalf("IDString length %d, want 16", len(s))
+	}
+	back, err := ParseID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip %d -> %s -> %d", id, s, back)
+	}
+	if NextID() == id {
+		t.Fatal("NextID not unique")
+	}
+}
