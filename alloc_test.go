@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"xseq/internal/datagen"
+	"xseq/internal/query"
 	"xseq/internal/telemetry"
 )
 
@@ -149,6 +150,80 @@ func TestQueryAllocsTraced(t *testing.T) {
 			t.Logf("%s %s traced: %.1f allocs/op", l.name, q, got)
 			if got > l.max {
 				t.Errorf("%s %s traced: %.1f allocs/op, want <= %.0f", l.name, q, got, l.max)
+			}
+		}
+	}
+}
+
+// TestQueryAllocsAdaptiveServing measures the full adaptive-serving query
+// path: a traced query plus the pattern-frequency recording that feeds the
+// resequencer's weight derivation. The adaptive loop itself runs in the
+// background off the serving path, so its only per-query cost is that one
+// bounded top-K update — which must fit inside the same per-layout bounds
+// as plain traced serving. A regression here means enabling -adaptive
+// taxes every query, not just rebuilds.
+func TestQueryAllocsAdaptiveServing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool reuse; allocation counts are asserted in non-race runs")
+	}
+	docs := allocDocs(t, 200)
+
+	mono, err := Build(docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Build(docs, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := BuildDynamic(docs, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Build(docs, Config{Layout: LayoutFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"/n0", "/n0/n1", "//n2", "/n0/*"}
+	// The server canonicalizes each request's pattern once at admission;
+	// the steady-state table key is therefore a ready string.
+	canon := make(map[string]string, len(queries))
+	for _, q := range queries {
+		pat, err := query.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon[q] = pat.String()
+	}
+	patterns := telemetry.NewTopK(64)
+
+	layouts := []struct {
+		name  string
+		query func(ctx context.Context, q string) ([]int32, error)
+		max   float64
+	}{
+		{"monolithic", mono.QueryContext, 60},
+		{"sharded", sharded.QueryContext, 160},
+		{"dynamic", dyn.QueryContext, 60},
+		{"flat", flat.QueryContext, 60},
+	}
+	for _, l := range layouts {
+		for _, q := range queries {
+			run := func() {
+				tr := telemetry.GetTrace()
+				ctx := telemetry.WithTrace(context.Background(), tr)
+				if _, err := l.query(ctx, q); err != nil {
+					t.Fatal(err)
+				}
+				patterns.Record(canon[q])
+				telemetry.PutTrace(tr)
+			}
+			run() // warm pools and seat the pattern in the table
+			got := testing.AllocsPerRun(50, run)
+			t.Logf("%s %s adaptive: %.1f allocs/op", l.name, q, got)
+			if got > l.max {
+				t.Errorf("%s %s adaptive: %.1f allocs/op, want <= %.0f", l.name, q, got, l.max)
 			}
 		}
 	}

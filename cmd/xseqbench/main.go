@@ -223,6 +223,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "xseqbench: flat results diverged from monolithic")
 			os.Exit(exitData)
 		}
+		if !res.TunedEquivalent {
+			fmt.Fprintln(os.Stderr, "xseqbench: tuned (weighted) results diverged from untuned")
+			os.Exit(exitData)
+		}
 		return
 	}
 

@@ -129,6 +129,11 @@ func main() {
 		traceLog = flag.String("trace-log", "", "append one structured JSON line per query (trace id, per-shard latency, fan-out/merge split, cache hit/miss) to this file; '-' = stderr")
 		topK     = flag.Int("pattern-topk", 0, "track this many hot query patterns in /stats (0 = default 64)")
 
+		adaptive     = flag.Bool("adaptive", false, "let the index tune itself: derive weights from the live query mix and hot-swap a re-sequenced rebuild when drift crosses the threshold; static mode needs a snapshot with retained documents (xseqquery -saveindex keeps them)")
+		adaptPoll    = flag.Duration("adaptive-poll", 0, "how often the adaptive loop samples the query mix (0 = default 2s)")
+		adaptDrift   = flag.Float64("adaptive-drift", 0, "weight-vector drift in (0,1] that triggers a re-sequenced rebuild (0 = default 0.25)")
+		adaptMinIval = flag.Duration("adaptive-min-interval", 0, "rate limit between successful adaptive rebuilds (0 = default 30s)")
+
 		walPath   = flag.String("wal", "", "primary mode: write-ahead log path; inserts are durable and replayed on restart")
 		walStrict = flag.Bool("wal-strict", false, "refuse a torn or corrupt WAL tail at startup (exit 4) instead of truncating it")
 		walSync   = flag.Duration("wal-sync", 0, "group-commit window: batch WAL fsyncs up to this long (0 = fsync per insert)")
@@ -163,6 +168,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xseqd: -shards, -workers, and -query-cache must be >= 0")
 		os.Exit(exitUsage)
 	}
+	if *adaptive && *follow != "" {
+		fmt.Fprintln(os.Stderr, "xseqd: -adaptive is incompatible with -follow (a follower serves the primary's sequencing)")
+		os.Exit(exitUsage)
+	}
+	if !*adaptive && (*adaptPoll != 0 || *adaptDrift != 0 || *adaptMinIval != 0) {
+		fmt.Fprintln(os.Stderr, "xseqd: -adaptive-poll, -adaptive-drift, and -adaptive-min-interval require -adaptive")
+		os.Exit(exitUsage)
+	}
+	if *adaptDrift < 0 || *adaptDrift > 1 {
+		fmt.Fprintln(os.Stderr, "xseqd: -adaptive-drift must be in (0, 1]")
+		os.Exit(exitUsage)
+	}
 	switch *layout {
 	case "", "monolithic", "sharded", "flat":
 	default:
@@ -190,6 +207,10 @@ func main() {
 		ExpectLayout:           *layout,
 		QueryCacheEntries:      *qcache,
 		PatternTopK:            *topK,
+		Adaptive:               *adaptive,
+		AdaptivePoll:           *adaptPoll,
+		AdaptiveDrift:          *adaptDrift,
+		AdaptiveMinInterval:    *adaptMinIval,
 	}
 	if *traceLog != "" {
 		if *traceLog == "-" {

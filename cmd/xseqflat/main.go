@@ -1,10 +1,12 @@
 // Command xseqflat converts a saved index snapshot (any heap layout
-// written by xseqquery -saveindex) to the flat single-file format, and
-// verifies existing flat snapshots.
+// written by xseqquery -saveindex) to the flat single-file format, builds
+// flat snapshots straight from a corpus, and verifies existing flat
+// snapshots.
 //
 // Usage:
 //
 //	xseqflat -in corpus.idx -out corpus.flat     # convert heap → flat
+//	xseqflat -data corpus.xml -out corpus.flat   # build corpus → flat
 //	xseqflat -check corpus.flat                  # full checksum sweep
 //	xseqflat -in corpus.idx -out c.flat -verify  # convert, reopen, sweep
 //
@@ -12,6 +14,9 @@
 // is queried in place through mmap — serve it with `xseqd -index corpus.flat
 // -layout flat`. Converting a sharded snapshot requires it to have been
 // built with KeepDocuments (the corpus is re-indexed as one partition).
+// -strategy selects the sequencing order for -data builds: gbest (the
+// default) or weighted; the positional baselines (depth-first,
+// breadth-first) cannot back a queryable flat snapshot and are refused.
 //
 // Exit codes: 0 success, 1 data error (unreadable input, unsupported
 // conversion, write failure), 2 usage, 4 corrupt snapshot.
@@ -51,25 +56,44 @@ func exitCode(err error) int {
 func main() {
 	var (
 		in     = flag.String("in", "", "input snapshot (monolithic, sharded, or already flat)")
+		data   = flag.String("data", "", "corpus XML file to index straight into a flat snapshot (alternative to -in)")
 		out    = flag.String("out", "", "output flat snapshot path (crash-safe: temp + fsync + rename)")
 		check  = flag.String("check", "", "verify this flat snapshot's checksums instead of converting")
 		verify = flag.Bool("verify", false, "after converting, reopen -out and run the full checksum sweep")
+		strat  = flag.String("strategy", "", "sequencing strategy for -data builds: gbest (default) or weighted; positional baselines are not flat-queryable")
 		quiet  = flag.Bool("q", false, "suppress the summary line")
 	)
 	flag.Parse()
+	strategy, err := xseq.CanonicalStrategy(*strat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xseqflat: %v\n", err)
+		os.Exit(exitUsage)
+	}
+	if strategy == xseq.StrategyDepthFirst || strategy == xseq.StrategyBreadthFirst {
+		fmt.Fprintf(os.Stderr, "xseqflat: -strategy %s cannot back a queryable flat snapshot\n", strategy)
+		os.Exit(exitUsage)
+	}
+	if *strat != "" && *data == "" {
+		fmt.Fprintln(os.Stderr, "xseqflat: -strategy applies to -data builds; -in snapshots keep the strategy they were built with")
+		os.Exit(exitUsage)
+	}
 	var summary string
-	var err error
 	switch {
 	case *check != "":
-		if *in != "" || *out != "" {
-			fmt.Fprintln(os.Stderr, "xseqflat: -check stands alone (no -in/-out)")
+		if *in != "" || *out != "" || *data != "" {
+			fmt.Fprintln(os.Stderr, "xseqflat: -check stands alone (no -in/-data/-out)")
 			os.Exit(exitUsage)
 		}
 		summary, err = checkFlat(*check)
+	case *in != "" && *data != "":
+		fmt.Fprintln(os.Stderr, "xseqflat: -in and -data are mutually exclusive")
+		os.Exit(exitUsage)
 	case *in != "" && *out != "":
 		summary, err = convert(*in, *out, *verify)
+	case *data != "" && *out != "":
+		summary, err = buildFlat(*data, *out, strategy, *verify)
 	default:
-		fmt.Fprintln(os.Stderr, "xseqflat: need -in and -out (convert) or -check (verify); see -h")
+		fmt.Fprintln(os.Stderr, "xseqflat: need -in/-data and -out (convert/build) or -check (verify); see -h")
 		os.Exit(exitUsage)
 	}
 	if err != nil {
@@ -97,6 +121,39 @@ func checkFlat(path string) (string, error) {
 	st := ix.Stats()
 	return fmt.Sprintf("%s: ok — %d documents, %d index nodes, %d bytes",
 		path, st.Documents, st.IndexNodes, st.Flat.MappedBytes), nil
+}
+
+// buildFlat indexes a corpus file directly into a flat snapshot under the
+// named sequencing strategy.
+func buildFlat(data, out, strategy string, verify bool) (string, error) {
+	docs, err := xseq.LoadCorpusFile(data)
+	if err != nil {
+		return "", err
+	}
+	ix, err := xseq.Build(docs, xseq.Config{
+		Strategy:      strategy,
+		KeepDocuments: true,
+	})
+	if err != nil {
+		return "", fmt.Errorf("build %s: %w", data, err)
+	}
+	defer ix.Close()
+	if err := ix.SaveFlatFile(out); err != nil {
+		return "", fmt.Errorf("save %s: %w", out, err)
+	}
+	flat, err := xseq.LoadFile(out)
+	if err != nil {
+		return "", fmt.Errorf("reopen %s: %w", out, err)
+	}
+	defer flat.Close()
+	if verify {
+		if err := flat.VerifyIntegrity(); err != nil {
+			return "", fmt.Errorf("verify %s: %w", out, err)
+		}
+	}
+	st := flat.Stats()
+	return fmt.Sprintf("%s → %s: %d documents, %d index nodes, %d bytes (%s strategy)",
+		data, out, st.Documents, st.IndexNodes, st.Flat.MappedBytes, strategy), nil
 }
 
 // convert loads any snapshot and writes it out flat; with verify it reopens

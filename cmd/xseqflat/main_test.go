@@ -117,3 +117,73 @@ func TestExitCodeClasses(t *testing.T) {
 		t.Fatalf("data → %d", got)
 	}
 }
+
+// TestBuildFlatFromCorpus covers the -data path: a corpus indexed straight
+// into a flat snapshot, under both queryable strategies.
+func TestBuildFlatFromCorpus(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.xml")
+	var sb strings.Builder
+	sb.WriteString("<corpus>")
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&sb, "<rec><title>t%d</title><city>boston</city></rec>", i)
+	}
+	sb.WriteString("</corpus>")
+	if err := os.WriteFile(corpus, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []string{xseq.StrategyGBest, xseq.StrategyWeighted} {
+		out := filepath.Join(dir, strategy+".flat")
+		summary, err := buildFlat(corpus, out, strategy, true)
+		if err != nil {
+			t.Fatalf("%s: buildFlat: %v", strategy, err)
+		}
+		if !strings.Contains(summary, "4 documents") || !strings.Contains(summary, strategy) {
+			t.Fatalf("%s: summary %q", strategy, summary)
+		}
+		ix, err := xseq.LoadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Layout() != xseq.LayoutFlat {
+			t.Fatalf("%s: layout = %s", strategy, ix.Layout())
+		}
+		ids, err := ix.Query("/rec/city[text='boston']")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 4 {
+			t.Fatalf("%s: built snapshot returned %d ids", strategy, len(ids))
+		}
+		ix.Close()
+	}
+}
+
+// TestStrategyFlagParsing pins the -strategy contract both CLIs share:
+// every canonical name and alias resolves, unknown names error (main maps
+// that to exit 2), and the positional baselines are identified for the
+// flat-incompatibility guard.
+func TestStrategyFlagParsing(t *testing.T) {
+	for in, want := range map[string]string{
+		"":              xseq.StrategyGBest,
+		"gbest":         xseq.StrategyGBest,
+		"g_best":        xseq.StrategyGBest,
+		"weighted":      xseq.StrategyWeighted,
+		"depth-first":   xseq.StrategyDepthFirst,
+		"dfs":           xseq.StrategyDepthFirst,
+		"breadth-first": xseq.StrategyBreadthFirst,
+		"BFS":           xseq.StrategyBreadthFirst,
+	} {
+		got, err := xseq.CanonicalStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("CanonicalStrategy(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := xseq.CanonicalStrategy("zigzag"); err == nil ||
+		!strings.Contains(err.Error(), "gbest") {
+		t.Errorf("unknown strategy: err = %v (should list valid names for the usage message)", err)
+	}
+	if got := xseq.Strategies(); len(got) != 4 {
+		t.Errorf("Strategies() = %v", got)
+	}
+}

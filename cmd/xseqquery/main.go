@@ -25,7 +25,6 @@ import (
 	"time"
 
 	"xseq"
-	"xseq/internal/xmltree"
 )
 
 // Exit codes; see the command doc.
@@ -78,6 +77,7 @@ func main() {
 		shards  = flag.Int("shards", 0, "partition the index into this many shards built and queried in parallel (0/1 = monolithic)")
 		workers = flag.Int("workers", 0, "concurrent shard builds for -shards (0 = GOMAXPROCS)")
 		qcache  = flag.Int("query-cache", 0, "cache up to this many query results keyed by canonical pattern (0 = no cache)")
+		strat   = flag.String("strategy", "", "sequencing strategy: gbest (default), weighted, depth-first, breadth-first; positional baselines build -stats-only indexes")
 	)
 	flag.Parse()
 
@@ -87,6 +87,24 @@ func main() {
 	}
 	if *ioSim && *shards > 1 {
 		fmt.Fprintln(os.Stderr, "xseqquery: -io is monolithic-only (sharded indexes have no paged layout)")
+		os.Exit(exitUsage)
+	}
+	strategy, err := xseq.CanonicalStrategy(*strat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xseqquery: %v\n", err)
+		os.Exit(exitUsage)
+	}
+	if positional := strategy == xseq.StrategyDepthFirst || strategy == xseq.StrategyBreadthFirst; positional {
+		// Positional baselines exist for sequencing comparisons (-stats,
+		// -schema): without g_best priorities they can neither answer
+		// queries nor round-trip through a snapshot.
+		if *saveIdx != "" || flag.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "xseqquery: -strategy %s builds a baseline ordering that cannot be queried or saved (use -stats)\n", strategy)
+			os.Exit(exitUsage)
+		}
+	}
+	if *strat != "" && *loadIdx != "" {
+		fmt.Fprintln(os.Stderr, "xseqquery: -strategy applies to builds; a loaded snapshot keeps the strategy it was built with")
 		os.Exit(exitUsage)
 	}
 
@@ -112,12 +130,13 @@ func main() {
 			ix.EnableQueryCache(*qcache)
 		}
 	case *data != "":
-		docs, err := loadCorpus(*data)
+		docs, err := xseq.LoadCorpusFile(*data)
 		if err != nil {
 			fail(err, "%v", err)
 		}
 		ctx, cancel := withTimeout()
 		ix, err = xseq.BuildContext(ctx, docs, xseq.Config{
+			Strategy:          strategy,
 			KeepDocuments:     *verify || *saveIdx != "",
 			TextValues:        *text,
 			Shards:            *shards,
@@ -213,47 +232,3 @@ func main() {
 			qc.Entries, qc.Capacity, qc.Hits, qc.Misses, qc.Evictions)
 	}
 }
-
-// loadCorpus reads a <corpus> file; each child of the root element becomes
-// one record, with ids assigned in order.
-func loadCorpus(path string) ([]*xseq.Document, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	root, err := xmltree.Parse(f, xmltree.ParseOptions{})
-	if err != nil {
-		return nil, err
-	}
-	if len(root.Children) == 0 {
-		return nil, fmt.Errorf("corpus %s has no records", path)
-	}
-	var docs []*xseq.Document
-	for i, rec := range root.Children {
-		if rec.IsValue {
-			continue
-		}
-		// Round-trip through XML keeps the public API the only entry
-		// point for document construction.
-		var sb recBuffer
-		if err := xmltree.WriteXML(&sb, rec); err != nil {
-			return nil, err
-		}
-		d, err := xseq.ParseDocumentString(int32(i), sb.String())
-		if err != nil {
-			return nil, err
-		}
-		docs = append(docs, d)
-	}
-	return docs, nil
-}
-
-type recBuffer struct{ b []byte }
-
-func (r *recBuffer) Write(p []byte) (int, error) {
-	r.b = append(r.b, p...)
-	return len(p), nil
-}
-
-func (r *recBuffer) String() string { return string(r.b) }

@@ -25,7 +25,7 @@ func TestLoadCorpus(t *testing.T) {
 	  <rec><title>alpha</title></rec>
 	  <rec><title>beta</title></rec>
 	</corpus>`)
-	docs, err := loadCorpus(path)
+	docs, err := xseq.LoadCorpusFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,15 +41,15 @@ func TestLoadCorpus(t *testing.T) {
 }
 
 func TestLoadCorpusErrors(t *testing.T) {
-	if _, err := loadCorpus(filepath.Join(t.TempDir(), "missing.xml")); err == nil {
+	if _, err := xseq.LoadCorpusFile(filepath.Join(t.TempDir(), "missing.xml")); err == nil {
 		t.Fatal("missing file should fail")
 	}
 	empty := writeCorpus(t, `<corpus></corpus>`)
-	if _, err := loadCorpus(empty); err == nil {
+	if _, err := xseq.LoadCorpusFile(empty); err == nil {
 		t.Fatal("empty corpus should fail")
 	}
 	bad := writeCorpus(t, `not xml at all`)
-	if _, err := loadCorpus(bad); err == nil {
+	if _, err := xseq.LoadCorpusFile(bad); err == nil {
 		t.Fatal("malformed corpus should fail")
 	}
 }
@@ -59,26 +59,12 @@ func TestLoadCorpusSkipsTextBetweenRecords(t *testing.T) {
 	  stray text
 	  <rec><a>1</a></rec>
 	</corpus>`)
-	docs, err := loadCorpus(path)
+	docs, err := xseq.LoadCorpusFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(docs) != 1 {
 		t.Fatalf("loaded %d records", len(docs))
-	}
-}
-
-func TestRecBuffer(t *testing.T) {
-	var b recBuffer
-	n, err := b.Write([]byte("hello "))
-	if err != nil || n != 6 {
-		t.Fatalf("write = %d, %v", n, err)
-	}
-	if _, err := b.Write([]byte("world")); err != nil {
-		t.Fatal(err)
-	}
-	if b.String() != "hello world" {
-		t.Fatalf("buffer = %q", b.String())
 	}
 }
 

@@ -1,0 +1,36 @@
+package xseq
+
+import (
+	"fmt"
+	"os"
+
+	"xseq/internal/xmltree"
+)
+
+// LoadCorpusFile reads a corpus file in the format cmd/xseqgen emits — a
+// single wrapper element whose children are the records — and returns one
+// Document per record, ids assigned by child position. This is the
+// ingestion path xseqquery and xseqflat share; parsing runs under the
+// default ParseOptions resource limits.
+func LoadCorpusFile(path string) (docs []*Document, err error) {
+	defer guard(&err)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	root, err := xmltree.Parse(f, xmltree.ParseOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if len(root.Children) == 0 {
+		return nil, fmt.Errorf("xseq: corpus %s has no records", path)
+	}
+	for i, rec := range root.Children {
+		if rec.IsValue {
+			continue
+		}
+		docs = append(docs, &Document{id: int32(i), root: rec})
+	}
+	return docs, nil
+}

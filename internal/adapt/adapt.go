@@ -1,0 +1,119 @@
+// Package adapt turns a live pattern-frequency table into the paper's §5
+// weight vector w(C) and measures how far the serving index's sequencing
+// has drifted from the current query mix — the two pure functions at the
+// heart of online adaptive resequencing. The server's background loop
+// (internal/server) owns the policy (when to decay, when to rebuild); this
+// package owns the math, so it is independently testable and reusable by
+// the bench harness.
+package adapt
+
+import (
+	"math"
+
+	"xseq/internal/query"
+	"xseq/internal/telemetry"
+)
+
+// DefaultBoost scales how strongly the hottest path is promoted: the most
+// frequently queried path gets w = 1 + boost, everything else
+// proportionally less. The paper's Eq 6 leaves w(C)'s magnitude open; a
+// boost of 4 makes the hottest path's priority 5x its base probability —
+// enough to reorder against typical p(C|root) spreads without drowning the
+// probability signal entirely.
+const DefaultBoost = 4.0
+
+// minWeight drops near-noise weights from the derived vector: a path whose
+// weight would barely differ from the default 1 does not meaningfully
+// change sequencing order, and keeping it only inflates the drift signal.
+const minWeight = 1.05
+
+// DeriveWeights maps an observed pattern-frequency table to a weight
+// vector: slash-separated root-anchored element name paths -> w(C) >= 1.
+//
+// Each pattern contributes its count to every concrete element prefix it
+// names: the pattern /site/people/person credits site, site/people, and
+// site/people/person. Only child-axis, named, non-value steps anchor a
+// schema path — a descendant step ("//x"), wildcard, or value test stops
+// that branch's walk, because the paths it matches cannot be named without
+// consulting a schema. Credits normalize against the hottest path:
+// w = 1 + boost·credit/max. Paths whose weight lands within noise of the
+// default 1 are dropped (boost <= 0 uses DefaultBoost).
+func DeriveWeights(counts []telemetry.PatternCount, boost float64) map[string]float64 {
+	if boost <= 0 {
+		boost = DefaultBoost
+	}
+	credit := make(map[string]int64)
+	for _, pc := range counts {
+		if pc.Count <= 0 {
+			continue
+		}
+		pat, err := query.Parse(pc.Pattern)
+		if err != nil || pat.Root == nil {
+			continue // unparseable table entry: no weight signal
+		}
+		creditSteps(credit, pat.Root, "", pc.Count)
+	}
+	var max int64
+	for _, c := range credit {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(credit))
+	for path, c := range credit {
+		w := 1 + boost*float64(c)/float64(max)
+		w = math.Round(w*1000) / 1000 // stable against float jitter across derivations
+		if w >= minWeight {
+			out[path] = w
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// creditSteps walks the concrete child-axis element spine of a pattern,
+// crediting every prefix path.
+func creditSteps(credit map[string]int64, n *query.PNode, prefix string, count int64) {
+	if n.Axis != query.AxisChild || n.Wildcard || n.IsValue || n.Name == "" {
+		return
+	}
+	path := prefix + n.Name
+	credit[path] += count
+	for _, c := range n.Children {
+		creditSteps(credit, c, path+"/", count)
+	}
+}
+
+// Drift measures how far weight vector a is from b on a [0, 1] scale:
+// the L1 distance over the union of their paths (a path missing from a
+// vector has the default weight 1), normalized by the sum of pointwise
+// maxima. 0 means identical vectors (the serving index is perfectly tuned
+// to the mix); values near 1 mean the hot set moved wholesale. Symmetric,
+// and insensitive to paths both vectors leave at the default.
+func Drift(a, b map[string]float64) float64 {
+	var num, den float64
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			bv = 1
+		}
+		num += math.Abs(av - bv)
+		den += math.Max(av, bv)
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; ok {
+			continue
+		}
+		num += math.Abs(1 - bv)
+		den += math.Max(1, bv)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,128 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"xseq/internal/telemetry"
+)
+
+func TestDeriveWeightsCreditsPrefixes(t *testing.T) {
+	w := DeriveWeights([]telemetry.PatternCount{
+		{Pattern: "/site/people/person", Count: 90},
+		{Pattern: "/site/regions", Count: 10},
+	}, 4)
+	// "site" is credited by both patterns (100), the hottest path; the
+	// spine of the hot pattern follows at 90; the cold branch at 10.
+	if w["site"] != 5 {
+		t.Errorf("w[site] = %v, want 5 (1 + boost)", w["site"])
+	}
+	if got := w["site/people"]; math.Abs(got-4.6) > 0.01 {
+		t.Errorf("w[site/people] = %v, want 4.6", got)
+	}
+	if got := w["site/people/person"]; math.Abs(got-4.6) > 0.01 {
+		t.Errorf("w[site/people/person] = %v, want 4.6", got)
+	}
+	if got := w["site/regions"]; math.Abs(got-1.4) > 0.01 {
+		t.Errorf("w[site/regions] = %v, want 1.4", got)
+	}
+}
+
+func TestDeriveWeightsStopsAtNonConcreteSteps(t *testing.T) {
+	w := DeriveWeights([]telemetry.PatternCount{
+		{Pattern: "/a/b//c", Count: 5},  // descendant step ends the walk after a/b
+		{Pattern: "/a/*/d", Count: 5},   // wildcard ends the walk after a
+		{Pattern: "//orphan", Count: 5}, // descendant-rooted: nothing anchors
+	}, 4)
+	for _, forbidden := range []string{"a/b/c", "c", "a/d", "d", "orphan"} {
+		if _, ok := w[forbidden]; ok {
+			t.Errorf("non-concrete step leaked a weight for %q: %v", forbidden, w)
+		}
+	}
+	if _, ok := w["a/b"]; !ok {
+		t.Errorf("concrete prefix a/b missing: %v", w)
+	}
+}
+
+func TestDeriveWeightsBranchingPattern(t *testing.T) {
+	// A twig credits both branches.
+	w := DeriveWeights([]telemetry.PatternCount{
+		{Pattern: "/r[/a]/b", Count: 8},
+	}, 4)
+	for _, want := range []string{"r", "r/a", "r/b"} {
+		if _, ok := w[want]; !ok {
+			t.Errorf("branch path %q missing: %v", want, w)
+		}
+	}
+}
+
+func TestDeriveWeightsEmptyAndGarbage(t *testing.T) {
+	if w := DeriveWeights(nil, 4); w != nil {
+		t.Errorf("nil input: want nil, got %v", w)
+	}
+	if w := DeriveWeights([]telemetry.PatternCount{{Pattern: "%%%not a query", Count: 5}}, 4); w != nil {
+		t.Errorf("garbage input: want nil, got %v", w)
+	}
+	if w := DeriveWeights([]telemetry.PatternCount{{Pattern: "/a", Count: 0}}, 4); w != nil {
+		t.Errorf("zero counts: want nil, got %v", w)
+	}
+}
+
+func TestDriftProperties(t *testing.T) {
+	a := map[string]float64{"x": 5, "y": 2}
+	b := map[string]float64{"x": 5, "y": 2}
+	if d := Drift(a, b); d != 0 {
+		t.Errorf("identical vectors: drift = %v, want 0", d)
+	}
+	if d := Drift(nil, nil); d != 0 {
+		t.Errorf("empty vectors: drift = %v, want 0", d)
+	}
+	// Symmetry.
+	c := map[string]float64{"x": 2, "z": 4}
+	if d1, d2 := Drift(a, c), Drift(c, a); math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("asymmetric drift: %v vs %v", d1, d2)
+	}
+	// A missing path counts as the default weight 1, so dropping a
+	// near-default path barely moves the needle while dropping a heavy
+	// path moves it a lot.
+	small := Drift(map[string]float64{"x": 5, "y": 1.1}, map[string]float64{"x": 5})
+	large := Drift(map[string]float64{"x": 5, "y": 5}, map[string]float64{"x": 5})
+	if small >= large {
+		t.Errorf("drift should scale with dropped weight mass: %v vs %v", small, large)
+	}
+	// Bounded to [0, 1].
+	if d := Drift(map[string]float64{"x": 100}, map[string]float64{"y": 100}); d < 0 || d > 1 {
+		t.Errorf("drift out of range: %v", d)
+	}
+}
+
+// TestDriftShiftScenario wires the two halves together: the drift between
+// weights derived before and after a workload shift must dwarf the drift
+// between two derivations of the same mix (which should be ~0 thanks to
+// rounding), so a threshold can separate them.
+func TestDriftShiftScenario(t *testing.T) {
+	mixA := []telemetry.PatternCount{
+		{Pattern: "/site/people/person", Count: 900},
+		{Pattern: "/site/regions", Count: 100},
+	}
+	mixAAgain := []telemetry.PatternCount{
+		{Pattern: "/site/people/person", Count: 850}, // same shape, new sample
+		{Pattern: "/site/regions", Count: 95},
+	}
+	mixB := []telemetry.PatternCount{
+		{Pattern: "/site/regions/africa/item", Count: 900},
+		{Pattern: "/site/people/person", Count: 50},
+	}
+	wa, wa2, wb := DeriveWeights(mixA, 4), DeriveWeights(mixAAgain, 4), DeriveWeights(mixB, 4)
+	stable, shifted := Drift(wa, wa2), Drift(wa, wb)
+	t.Logf("stable drift %.4f, shifted drift %.4f", stable, shifted)
+	if stable > 0.05 {
+		t.Errorf("re-deriving the same mix drifted %.4f, want ~0", stable)
+	}
+	if shifted < 0.2 {
+		t.Errorf("workload shift drifted only %.4f, want substantial", shifted)
+	}
+	if shifted < stable*4 {
+		t.Errorf("no threshold separates stable (%.4f) from shifted (%.4f)", stable, shifted)
+	}
+}

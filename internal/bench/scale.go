@@ -10,6 +10,7 @@ import (
 	"slices"
 	"time"
 
+	"xseq/internal/adapt"
 	"xseq/internal/datagen"
 	"xseq/internal/engine"
 	"xseq/internal/flat"
@@ -21,6 +22,7 @@ import (
 	"xseq/internal/schema"
 	"xseq/internal/sequence"
 	"xseq/internal/shard"
+	"xseq/internal/telemetry"
 	"xseq/internal/xmltree"
 )
 
@@ -108,6 +110,23 @@ type ScaleResult struct {
 	FlatAllocsPerOp   float64 `json:"flat_allocs_per_op"`
 	FlatBytesPerOp    float64 `json:"flat_bytes_per_op"`
 	FlatEquivalent    bool    `json:"flat_equivalent"`
+
+	// Tuned pass — the adaptive-resequencing loop run offline: a
+	// Zipf-skewed query mix is sampled from the pattern pool, its
+	// frequency table derives the Eq 6 weight vector (exactly what the
+	// server's resequencer does online), and a weighted index is rebuilt
+	// around it. The same skewed mix is then timed against the untuned and
+	// tuned indexes; TunedEquivalent asserts byte-identical id lists —
+	// re-sequencing reorders storage, never answers.
+	SkewExponent      float64            `json:"skew_exponent"`
+	TunedWeights      map[string]float64 `json:"tuned_weights,omitempty"`
+	TunedBuildNS      int64              `json:"tuned_build_ns"`
+	UntunedSkewP50NS  int64              `json:"untuned_skew_p50_ns"`
+	UntunedSkewP95NS  int64              `json:"untuned_skew_p95_ns"`
+	TunedSkewP50NS    int64              `json:"tuned_skew_p50_ns"`
+	TunedSkewP95NS    int64              `json:"tuned_skew_p95_ns"`
+	TunedSpeedupP50   float64            `json:"tuned_speedup_p50"`
+	TunedEquivalent   bool               `json:"tuned_equivalent"`
 }
 
 // scaleCorpus generates the named corpus.
@@ -300,7 +319,105 @@ func ShardScale(cfg ScaleConfig) (*ScaleResult, error) {
 	if err := flatScale(ctx, mono, pats, res); err != nil {
 		return nil, fmt.Errorf("flat pass: %w", err)
 	}
+	if err := tunedScale(ctx, docs, mono, pats, rng, res); err != nil {
+		return nil, fmt.Errorf("tuned pass: %w", err)
+	}
 	return res, nil
+}
+
+// tunedSkewExponent shapes the Zipf mix the tuned pass samples: ~1.3 gives
+// a hot head (a few patterns dominate) without starving the tail, the
+// workload shape adaptive resequencing exists for.
+const tunedSkewExponent = 1.3
+
+// tunedScale runs the adaptive-resequencing loop offline: sample a
+// Zipf-skewed mix over the pattern pool, derive the weight vector from its
+// frequency table, rebuild the index weighted, and time the same mix
+// untuned vs tuned with per-query equivalence checks.
+func tunedScale(ctx context.Context, docs []*xmltree.Document, mono *index.Index, pats []*query.Pattern, rng *rand.Rand, res *ScaleResult) error {
+	res.SkewExponent = tunedSkewExponent
+	res.TunedEquivalent = true
+
+	// Sample the skewed mix and tally its frequency table — the offline
+	// stand-in for the server's live top-K pattern counts.
+	zipf := rand.NewZipf(rng, tunedSkewExponent, 1, uint64(len(pats)-1))
+	mixLen := 4 * len(pats)
+	mix := make([]*query.Pattern, mixLen)
+	tally := make(map[string]int64, len(pats))
+	for i := range mix {
+		p := pats[zipf.Uint64()]
+		mix[i] = p
+		tally[p.String()]++
+	}
+	counts := make([]telemetry.PatternCount, 0, len(tally))
+	for pat, n := range tally {
+		counts = append(counts, telemetry.PatternCount{Pattern: pat, Count: n})
+	}
+	weights := adapt.DeriveWeights(counts, 0)
+	res.TunedWeights = weights
+
+	// Re-sequence the corpus around the derived vector (the weighted-gbest
+	// build the server's rebuild performs in the background).
+	roots := make([]*xmltree.Node, len(docs))
+	for i, d := range docs {
+		roots[i] = d.Root
+	}
+	sch, err := schema.Infer(roots)
+	if err != nil {
+		return err
+	}
+	enc := pathenc.NewEncoder(0)
+	strategy, err := sequence.NewByName(sequence.NameWeighted, sch, enc, weights, true)
+	if err != nil {
+		return err
+	}
+	buildStart := time.Now()
+	tuned, err := index.BuildContext(ctx, docs, index.Options{Encoder: enc, Strategy: strategy})
+	if err != nil {
+		return fmt.Errorf("weighted build: %w", err)
+	}
+	res.TunedBuildNS = time.Since(buildStart).Nanoseconds()
+
+	// One warm pass each, then time the identical skewed mix on both.
+	for _, eng := range []engine.Engine{mono, tuned} {
+		for _, p := range pats {
+			if _, err := eng.QueryWithContext(ctx, p, engine.QueryOptions{}); err != nil {
+				return err
+			}
+		}
+	}
+	uLats := make([]int64, 0, len(mix))
+	tLats := make([]int64, 0, len(mix))
+	for _, p := range mix {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		uStart := time.Now()
+		want, err := mono.QueryWithContext(ctx, p, engine.QueryOptions{})
+		if err != nil {
+			return fmt.Errorf("untuned query %s: %w", p, err)
+		}
+		uLats = append(uLats, time.Since(uStart).Nanoseconds())
+		tStart := time.Now()
+		got, err := tuned.QueryWithContext(ctx, p, engine.QueryOptions{})
+		if err != nil {
+			return fmt.Errorf("tuned query %s: %w", p, err)
+		}
+		tLats = append(tLats, time.Since(tStart).Nanoseconds())
+		if !equalIDs(want, got) {
+			res.TunedEquivalent = false
+		}
+	}
+	slices.Sort(uLats)
+	slices.Sort(tLats)
+	res.UntunedSkewP50NS = percentileNS(uLats, 50)
+	res.UntunedSkewP95NS = percentileNS(uLats, 95)
+	res.TunedSkewP50NS = percentileNS(tLats, 50)
+	res.TunedSkewP95NS = percentileNS(tLats, 95)
+	if res.TunedSkewP50NS > 0 {
+		res.TunedSpeedupP50 = float64(res.UntunedSkewP50NS) / float64(res.TunedSkewP50NS)
+	}
+	return nil
 }
 
 // flatScale runs the flat-layout pass of the benchmark: persist mono in the

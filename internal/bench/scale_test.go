@@ -35,3 +35,46 @@ func TestShardScaleFlatPass(t *testing.T) {
 		t.Fatalf("flat alloc profile missing: %f", res.FlatAllocsPerOp)
 	}
 }
+
+// TestShardScaleTunedPass checks the adaptive-resequencing section of the
+// benchmark: a Zipf mix is sampled, a weight vector derived, a weighted
+// index rebuilt, and the tuned index must answer the whole skewed mix
+// exactly like the untuned one while reporting real timings.
+func TestShardScaleTunedPass(t *testing.T) {
+	res, err := ShardScale(ScaleConfig{
+		Dataset: "L3F5A25I0P40",
+		Records: 120,
+		Shards:  2,
+		Queries: 12,
+		Seed:    11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TunedEquivalent {
+		t.Fatal("tuned index diverged from untuned")
+	}
+	if res.SkewExponent <= 1 {
+		t.Fatalf("skew exponent %f not recorded", res.SkewExponent)
+	}
+	if len(res.TunedWeights) == 0 {
+		t.Fatal("no weights derived from the skewed mix")
+	}
+	for path, w := range res.TunedWeights {
+		if w <= 1 {
+			t.Fatalf("weight %q = %f not a boost", path, w)
+		}
+	}
+	if res.TunedBuildNS <= 0 {
+		t.Fatalf("tuned build timing missing: %d", res.TunedBuildNS)
+	}
+	if res.UntunedSkewP50NS <= 0 || res.UntunedSkewP95NS < res.UntunedSkewP50NS {
+		t.Fatalf("untuned skew distribution: p50 %d, p95 %d", res.UntunedSkewP50NS, res.UntunedSkewP95NS)
+	}
+	if res.TunedSkewP50NS <= 0 || res.TunedSkewP95NS < res.TunedSkewP50NS {
+		t.Fatalf("tuned skew distribution: p50 %d, p95 %d", res.TunedSkewP50NS, res.TunedSkewP95NS)
+	}
+	if res.TunedSpeedupP50 <= 0 {
+		t.Fatalf("speedup ratio missing: %f", res.TunedSpeedupP50)
+	}
+}

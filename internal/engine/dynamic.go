@@ -404,11 +404,28 @@ func (d *Dynamic) CompactContext(ctx context.Context) error {
 	return d.compactLocked(ctx)
 }
 
+// RebuildContext rebuilds the main engine over the full corpus even when no
+// documents are buffered — the adaptive-resequencing entry point: after the
+// builder's sequencing weights change, a forced rebuild re-sequences every
+// document, where CompactContext would no-op on an empty buffer. It shares
+// compaction's failure containment exactly: a failed rebuild (error, panic,
+// cancellation) is a counted *CompactionError that leaves the serving state
+// untouched.
+func (d *Dynamic) RebuildContext(ctx context.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rebuildLocked(ctx, true)
+}
+
 // compactLocked rebuilds main over mainDocs + buffer. All serving state is
 // replaced atomically only after a successful build; any failure (error,
 // panic, cancellation) leaves it untouched.
 func (d *Dynamic) compactLocked(ctx context.Context) error {
-	if len(d.buffer) == 0 {
+	return d.rebuildLocked(ctx, false)
+}
+
+func (d *Dynamic) rebuildLocked(ctx context.Context, force bool) error {
+	if len(d.buffer) == 0 && (!force || len(d.mainDocs) == 0) {
 		return nil
 	}
 	// Conservative invalidation: compaction preserves query answers, but a

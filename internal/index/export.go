@@ -60,7 +60,7 @@ type ExportLink struct {
 // probability (g_best) strategy, because a different layout reconstructs
 // the strategy from the schema exactly as Load does.
 func (ix *Index) Export() (*Export, error) {
-	prob, ok := ix.strategy.(*sequence.Probability)
+	prob, ok := sequence.AsProbability(ix.strategy)
 	if !ok {
 		return nil, fmt.Errorf("index: only probability-strategy indexes can be exported (have %q)", ix.strategy.Name())
 	}

@@ -104,7 +104,7 @@ type persistedOptions struct {
 // payload, CRC-32 trailer). Only probability-strategy (g_best) indexes are
 // saveable: the strategy is reconstructed from the schema on Load.
 func (ix *Index) Save(w io.Writer) error {
-	prob, ok := ix.strategy.(*sequence.Probability)
+	prob, ok := sequence.AsProbability(ix.strategy)
 	if !ok {
 		return fmt.Errorf("index: only probability-strategy indexes can be saved (have %q)", ix.strategy.Name())
 	}

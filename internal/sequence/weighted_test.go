@@ -1,0 +1,177 @@
+package sequence
+
+import (
+	"math"
+	"testing"
+
+	"xseq/internal/pathenc"
+	"xseq/internal/schema"
+	"xseq/internal/xmltree"
+)
+
+func TestCanonicalNameAliases(t *testing.T) {
+	cases := map[string]string{
+		"":               NameGBest,
+		"gbest":          NameGBest,
+		"g_best":         NameGBest,
+		"constraint":     NameGBest,
+		"GBest":          NameGBest,
+		" weighted ":     NameWeighted,
+		"weighted-gbest": NameWeighted,
+		"depth-first":    NameDepthFirst,
+		"dfs":            NameDepthFirst,
+		"breadth-first":  NameBreadthFirst,
+		"bfs":            NameBreadthFirst,
+	}
+	for in, want := range cases {
+		got, err := CanonicalName(in)
+		if err != nil {
+			t.Errorf("CanonicalName(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"zorp", "best", "depth", "random!"} {
+		if _, err := CanonicalName(bad); err == nil {
+			t.Errorf("CanonicalName(%q): want error", bad)
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	s, err := NewByName("weighted", schema.Figure12(), enc, map[string]float64{"P/R": 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != NameWeighted {
+		t.Fatalf("Name = %q, want %q", s.Name(), NameWeighted)
+	}
+	if _, ok := s.(Prioritizer); !ok {
+		t.Fatal("weighted strategy must be a Prioritizer (query-side order compatibility)")
+	}
+	if s, err = NewByName("", schema.Figure12(), enc, nil, false); err != nil || s.Name() != "constraint" {
+		t.Fatalf("default strategy = %v (%v), want constraint", s, err)
+	}
+	if _, err := NewByName("nope", schema.Figure12(), enc, nil, false); err == nil {
+		t.Fatal("unknown strategy: want error")
+	}
+	// Positional baselines reject weights: silently dropping a tuning
+	// vector would masquerade as a tuned build.
+	if _, err := NewByName("depth-first", schema.Figure12(), enc, map[string]float64{"P": 2}, false); err == nil {
+		t.Fatal("depth-first with weights: want error")
+	}
+	if s, err = NewByName("breadth-first", schema.Figure12(), enc, nil, false); err != nil || s.Name() != NameBreadthFirst {
+		t.Fatalf("breadth-first = %v (%v)", s, err)
+	}
+}
+
+// TestWeightedReordersSection52 reproduces the paper's Eq 6 effect on the
+// Section 5.2 example: unweighted g_best emits U's subtree before L
+// (p(U|root) > p(L|root) in Figure 12); boosting w(L) flips the order, so a
+// frequently-queried L resolves earlier in every sequence.
+func TestWeightedReordersSection52(t *testing.T) {
+	pos := func(seq Sequence, enc *pathenc.Encoder, path string) int {
+		for i, p := range names(enc, seq) {
+			if p == path {
+				return i
+			}
+		}
+		t.Fatalf("path %s not in sequence %s", path, seq.String(enc))
+		return -1
+	}
+
+	encA := pathenc.NewEncoder(0)
+	base := NewProbability(schema.Figure12(), encA)
+	seqA := base.Sequence(xmltree.Figure11a())
+	if !(pos(seqA, encA, "P.R.U") < pos(seqA, encA, "P.R.L")) {
+		t.Fatalf("unweighted: expected U before L: %s", seqA.String(encA))
+	}
+
+	encB := pathenc.NewEncoder(0)
+	w, err := NewWeighted(schema.Figure12(), encB, map[string]float64{"P/R/L": 50}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Applied() != 1 {
+		t.Fatalf("Applied = %d, want 1", w.Applied())
+	}
+	seqB := w.Sequence(xmltree.Figure11a())
+	if !(pos(seqB, encB, "P.R.L") < pos(seqB, encB, "P.R.U")) {
+		t.Fatalf("weighted: expected L before U: %s", seqB.String(encB))
+	}
+	// Reordered, but still a valid constraint sequence for the same tree.
+	if err := Validate(encB, seqB); err != nil {
+		t.Fatalf("weighted sequence invalid: %v", err)
+	}
+	subtreeContiguous(t, encB, xmltree.Figure11a(), seqB)
+}
+
+func TestNewWeightedUnknownPath(t *testing.T) {
+	enc := pathenc.NewEncoder(0)
+	if _, err := NewWeighted(schema.Figure12(), enc, map[string]float64{"P/nope": 2}, false); err == nil {
+		t.Fatal("unknown weight path with skipUnknown=false: want error")
+	}
+	w, err := NewWeighted(schema.Figure12(), enc, map[string]float64{"P/nope": 2, "P/R": 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Applied() != 1 {
+		t.Fatalf("Applied = %d, want 1 (unknown skipped)", w.Applied())
+	}
+}
+
+// FuzzWeights: an arbitrary weight vector — extreme magnitudes, zeros,
+// negatives, NaN-adjacent exponents — may reorder the weighted sequence but
+// must never break constraint-sequence validity: the output still validates
+// under f2 and decodes back to the input tree. This is the structural half
+// of the weights-change-order-never-answers guarantee (the query-level half
+// lives in the root equivalence suite).
+func FuzzWeights(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 255, 128, 7})
+	f.Add([]byte{255, 255, 255, 255, 255})
+	f.Add([]byte{1, 1, 1, 1, 1})
+	f.Add([]byte{200, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		paths := []string{"P", "P/R", "P/R/U", "P/R/L", "P/R/U/M"}
+		weights := make(map[string]float64, len(paths))
+		for i, b := range raw {
+			if i >= len(paths) {
+				break
+			}
+			// Bytes span w in ~[1e-4, 1e4]; byte 0 maps to a negative
+			// weight, exercising the EffectiveWeight default-1 clamp.
+			if b == 0 {
+				weights[paths[i]] = -1
+			} else {
+				weights[paths[i]] = math.Pow(10, (float64(b)-128)/32)
+			}
+		}
+		enc := pathenc.NewEncoder(0)
+		w, err := NewWeighted(schema.Figure12(), enc, weights, false)
+		if err != nil {
+			t.Fatalf("NewWeighted(%v): %v", weights, err)
+		}
+		for _, fixture := range []*xmltree.Node{
+			xmltree.Figure11a(), xmltree.Figure11b(), xmltree.Figure1(),
+		} {
+			seq := w.Sequence(fixture)
+			if len(seq) != fixture.Size() {
+				t.Fatalf("weights %v: sequence length %d, tree size %d", weights, len(seq), fixture.Size())
+			}
+			if err := Validate(enc, seq); err != nil {
+				t.Fatalf("weights %v: invalid constraint sequence: %v\nseq %s", weights, err, seq.String(enc))
+			}
+			back, err := Decode(enc, seq)
+			if err != nil {
+				t.Fatalf("weights %v: decode: %v", weights, err)
+			}
+			if !xmltree.Isomorphic(back, CanonicalizeValues(fixture, enc)) {
+				t.Fatalf("weights %v: round trip broke tree\nseq %s", weights, seq.String(enc))
+			}
+		}
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"xseq"
+	"xseq/internal/adapt"
 	"xseq/internal/query"
 	"xseq/internal/telemetry"
 )
@@ -125,6 +126,33 @@ type Config struct {
 	// PatternTopK bounds the per-pattern query-frequency table surfaced in
 	// /stats (default 64 patterns, space-saving eviction).
 	PatternTopK int
+	// Adaptive turns on online adaptive resequencing: a background loop
+	// derives the paper's Eq 6 weight vector w(C) from the live pattern
+	// table, and when the serving index's sequencing has drifted past
+	// AdaptiveDrift it rebuilds the index re-sequenced around the mix and
+	// hot-swaps it in — reads keep serving the old index throughout.
+	// Static mode requires a snapshot built with KeepDocuments (the corpus
+	// to rebuild from); incompatible with FollowURL (a follower's index is
+	// the primary's log, not its own to re-sequence).
+	Adaptive bool
+	// AdaptivePoll is how often the loop samples the pattern table
+	// (default 2s).
+	AdaptivePoll time.Duration
+	// AdaptiveDrift is the drift threshold in [0, 1] that triggers a
+	// rebuild (default 0.25).
+	AdaptiveDrift float64
+	// AdaptiveMinInterval rate-limits successful rebuilds (default 30s).
+	AdaptiveMinInterval time.Duration
+	// AdaptiveMinSamples is the minimum decayed mass the pattern table must
+	// hold before a rebuild may trigger (default 32) — protects against
+	// tuning to a handful of stray queries.
+	AdaptiveMinSamples int
+	// AdaptiveBoost scales the hottest path's weight to 1+boost
+	// (default adapt.DefaultBoost).
+	AdaptiveBoost float64
+	// AdaptiveDecay geometrically ages the pattern table each poll so the
+	// weights track the recent mix (default 0.98; must be in (0, 1)).
+	AdaptiveDecay float64
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 
@@ -132,6 +160,10 @@ type Config struct {
 	// re-seeding follower reads — the chaos tests' corruption injection
 	// point. Called once per download attempt.
 	testSnapshotBody func(io.Reader) io.Reader
+	// testRebuildFail, when set, runs before every adaptive rebuild; a
+	// non-nil return fails the rebuild — the failure-containment tests'
+	// injection point.
+	testRebuildFail func() error
 }
 
 func (c *Config) applyDefaults() {
@@ -168,6 +200,24 @@ func (c *Config) applyDefaults() {
 	if c.SnapshotMaxConcurrent <= 0 {
 		c.SnapshotMaxConcurrent = 2
 	}
+	if c.AdaptivePoll <= 0 {
+		c.AdaptivePoll = 2 * time.Second
+	}
+	if c.AdaptiveDrift <= 0 {
+		c.AdaptiveDrift = 0.25
+	}
+	if c.AdaptiveMinInterval <= 0 {
+		c.AdaptiveMinInterval = 30 * time.Second
+	}
+	if c.AdaptiveMinSamples <= 0 {
+		c.AdaptiveMinSamples = 32
+	}
+	if c.AdaptiveBoost <= 0 {
+		c.AdaptiveBoost = adapt.DefaultBoost
+	}
+	if c.AdaptiveDecay <= 0 || c.AdaptiveDecay >= 1 {
+		c.AdaptiveDecay = 0.98
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -182,6 +232,7 @@ type Server struct {
 	dyn     *xseq.DynamicIndex // primary and follower modes only
 	repl    *replicator        // follower mode only
 	ckpt    *checkpointer      // checkpoint policy, when armed
+	adapt   *resequencer       // adaptive resequencing, when enabled
 	snapSem chan struct{}      // bounds concurrent /snapshot downloads
 	gate    *gate
 	dr      *drainer
@@ -237,6 +288,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ExpectLayout != "" && (cfg.WALPath != "" || cfg.FollowURL != "") {
 		return nil, fmt.Errorf("server: Config.ExpectLayout applies to static snapshot mode only")
+	}
+	if cfg.Adaptive && cfg.FollowURL != "" {
+		return nil, fmt.Errorf("server: Config.Adaptive is incompatible with FollowURL (a follower serves the primary's sequencing)")
 	}
 	ckptArmed := cfg.CheckpointEveryEntries > 0 || cfg.CheckpointEveryBytes > 0
 	if ckptArmed && cfg.WALPath == "" {
@@ -326,6 +380,14 @@ func New(cfg Config) (*Server, error) {
 			_ = ix.Close()
 			return nil, fmt.Errorf("server: initial snapshot: %w", err)
 		}
+		if cfg.Adaptive {
+			// Re-sequenced rebuilds need the corpus: fail fast at startup
+			// rather than on the first triggered rebuild.
+			if _, err := ix.StoredDocuments(); err != nil {
+				_ = ix.Close()
+				return nil, fmt.Errorf("server: Config.Adaptive needs a snapshot built with KeepDocuments: %w", err)
+			}
+		}
 		s.swap = xseq.NewSwapper(ix)
 		s.loadedAt = time.Now()
 		s.snapMTime, s.snapSize = statFile(cfg.IndexPath)
@@ -337,6 +399,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.ckpt != nil {
 		go s.ckpt.run(s.baseCtx)
+	}
+	if cfg.Adaptive {
+		s.adapt = newResequencer(s)
+		go s.adapt.run(s.baseCtx)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -360,6 +426,9 @@ func (s *Server) Close() error {
 	}
 	if s.ckpt != nil {
 		s.ckpt.wait()
+	}
+	if s.adapt != nil {
+		s.adapt.wait()
 	}
 	if s.dyn != nil {
 		return s.dyn.Close()
@@ -601,6 +670,10 @@ type statsResponse struct {
 	Checkpoint *checkpointStat `json:"checkpoint,omitempty"`
 	// Replication is present in follower mode.
 	Replication *replicationStatus `json:"replication,omitempty"`
+	// Adaptive is present when online adaptive resequencing is enabled:
+	// the live weight vector, the drift against the serving index's
+	// sequencing, and the rebuild counters.
+	Adaptive *adaptiveStat `json:"adaptive,omitempty"`
 	// Latency reports per-layout query latency percentiles computed from
 	// the registry's histograms; present once a query has been served.
 	Latency map[string]latencyStat `json:"latency,omitempty"`
@@ -854,6 +927,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Checkpoint = s.ckpt.stat()
 	}
 	resp.Replication = s.replicationStat()
+	if s.adapt != nil {
+		resp.Adaptive = s.adapt.stat()
+	}
 	resp.Latency = s.latencyStats()
 	resp.QueryPatterns = s.patterns.Snapshot()
 	resp.Queries = s.queries.Load()
@@ -890,6 +966,9 @@ type healthResponse struct {
 	// (serving continues over the unrotated log; the policy retries with
 	// backoff).
 	CheckpointError string `json:"checkpoint_error,omitempty"`
+	// AdaptiveError is the most recent adaptive-rebuild failure (the old
+	// index keeps serving; the loop retries with backoff).
+	AdaptiveError string `json:"adaptive_error,omitempty"`
 	// Replication carries the follower's lag and connection condition.
 	Replication *replicationStatus `json:"replication,omitempty"`
 	Draining    bool               `json:"draining"`
@@ -923,6 +1002,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.ckpt != nil {
 		if st := s.ckpt.stat(); st.LastError != "" {
 			resp.CheckpointError = st.LastError
+			resp.Status = "degraded"
+		}
+	}
+	if s.adapt != nil {
+		if st := s.adapt.stat(); st.LastError != "" {
+			resp.AdaptiveError = st.LastError
 			resp.Status = "degraded"
 		}
 	}

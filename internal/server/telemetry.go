@@ -129,6 +129,12 @@ func (s *Server) collect(e *telemetry.Emit) {
 		e.Counter("xseq_reseed_attempts_total", "", "Snapshot re-seed attempts, including failures.", rs.ReseedAttempts)
 		e.Gauge("xseq_replication_lag", "", "Entries between the primary's head and this follower.", float64(rs.Lag))
 	}
+	if s.adapt != nil {
+		as := s.adapt.stat()
+		e.Counter("xseq_adaptive_rebuilds_total", "", "Completed adaptive re-sequenced rebuilds.", as.Rebuilds)
+		e.Counter("xseq_adaptive_rebuild_failures_total", "", "Failed adaptive rebuild attempts.", as.Failures)
+		e.Gauge("xseq_adaptive_drift", "", "Weight-vector drift between the live mix and the serving index.", as.Drift)
+	}
 	e.Gauge("xseq_query_patterns_tracked", "", "Resident entries in the top-K pattern-frequency table.", float64(s.patterns.Len()))
 }
 

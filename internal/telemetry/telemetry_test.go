@@ -162,6 +162,69 @@ func TestTopKSpaceSaving(t *testing.T) {
 	}
 }
 
+// TestTopKDecayDisplacesOldHotPattern is the workload-shift scenario decay
+// exists for: a pattern that dominated the early mix must lose its slot to
+// the patterns that dominate the current mix once it stops arriving.
+// Without Decay the old leader's space-saving count is an unbeatable
+// high-water mark and the table can never reflect the shifted workload.
+func TestTopKDecayDisplacesOldHotPattern(t *testing.T) {
+	tk := NewTopK(3)
+	for i := 0; i < 1000; i++ {
+		tk.Record("old-hot")
+	}
+	// The mix shifts: three new patterns arrive steadily, old-hot never
+	// again. Each round decays (half-life one round) then records the new
+	// mix, as the server's adaptive poll loop does.
+	for round := 0; round < 12; round++ {
+		tk.Decay(0.5)
+		for i := 0; i < 8; i++ {
+			tk.Record("new-a")
+			tk.Record("new-b")
+			tk.Record("new-c")
+		}
+	}
+	snap := tk.Snapshot()
+	for _, pc := range snap {
+		if pc.Pattern == "old-hot" {
+			t.Fatalf("old hot pattern still resident after the mix shifted: %+v", snap)
+		}
+	}
+	seen := map[string]bool{}
+	for _, pc := range snap {
+		seen[pc.Pattern] = true
+	}
+	for _, want := range []string{"new-a", "new-b", "new-c"} {
+		if !seen[want] {
+			t.Errorf("current-mix pattern %q missing: %+v", want, snap)
+		}
+	}
+}
+
+func TestTopKDecayEvictsAndTotals(t *testing.T) {
+	tk := NewTopK(8)
+	tk.Record("a")
+	tk.Record("a")
+	tk.Record("b")
+	if got := tk.Total(); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+	tk.Decay(0.5) // a: 2 -> 1 stays; b: 1 -> 0 evicted
+	if tk.Len() != 1 {
+		t.Fatalf("Len after decay = %d, want 1", tk.Len())
+	}
+	if got := tk.Total(); got != 1 {
+		t.Fatalf("Total after decay = %d, want 1", got)
+	}
+	tk.Decay(1.5) // factor >= 1 is a no-op, not an amplifier
+	if got := tk.Total(); got != 1 {
+		t.Fatalf("Total after no-op decay = %d, want 1", got)
+	}
+	tk.Decay(-1) // negative clamps to 0: full reset
+	if tk.Len() != 0 {
+		t.Fatalf("Len after clamp-to-zero decay = %d, want 0", tk.Len())
+	}
+}
+
 func TestTopKDeterministicOrder(t *testing.T) {
 	tk := NewTopK(8)
 	for _, k := range []string{"b", "a", "c"} {

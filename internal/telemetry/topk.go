@@ -55,6 +55,45 @@ func (t *TopK) Record(key string) {
 	t.m[key] = minCount + 1
 }
 
+// Decay multiplies every resident count by factor (clamped to [0, 1)) and
+// evicts keys whose count falls below 1. Without aging, space-saving counts
+// grow forever and the table converges on the all-time heavy hitters; a
+// periodic geometric decay makes it track the *recent* workload instead —
+// an old hot pattern that stops arriving halves away until a currently-hot
+// key displaces it. Callers pick the half-life via how often they call this
+// and with what factor (count halves every ln(2)/ln(1/factor) calls).
+func (t *TopK) Decay(factor float64) {
+	if factor >= 1 || factor != factor { // no-op factors (incl. NaN)
+		return
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, c := range t.m {
+		nc := int64(float64(c) * factor)
+		if nc < 1 {
+			delete(t.m, k)
+		} else {
+			t.m[k] = nc
+		}
+	}
+}
+
+// Total returns the sum of all resident counts — a cheap "how much signal
+// is in the table" gauge used to gate decisions that need a minimum sample
+// size (e.g. deriving sequencing weights from the observed mix).
+func (t *TopK) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum int64
+	for _, c := range t.m {
+		sum += c
+	}
+	return sum
+}
+
 // Len returns the number of resident keys.
 func (t *TopK) Len() int {
 	t.mu.Lock()

@@ -1,0 +1,262 @@
+package xseq
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"xseq/internal/datagen"
+)
+
+// xmarkWeights is a plausible hot-path vector for the XMark-like corpus —
+// the shape the adaptive loop derives when person lookups dominate.
+var xmarkWeights = map[string]float64{
+	"site":                   2,
+	"site/people":            4,
+	"site/people/person":     5,
+	"site/regions":           1.5,
+	"site/no/such/path":      3, // unknown paths are skipped, never fatal
+	"site/people/person/age": 4.2,
+}
+
+var xmarkQueries = []string{
+	datagen.XMarkQ1,
+	datagen.XMarkQ2,
+	datagen.XMarkQ3,
+	"/site//person/name",
+	"//item/location",
+	"//date",
+	"/site/*",
+}
+
+// TestWeightedEquivalenceAcrossLayouts is satellite coverage for the
+// weighted strategy: re-sequencing the data around a weight vector reorders
+// storage, never answers. Every layout — monolithic, sharded, dynamic,
+// flat — must return identical ids with and without weights, for plain and
+// verified queries.
+func TestWeightedEquivalenceAcrossLayouts(t *testing.T) {
+	docs := genCorpus(t, "xmark", 200)
+	base, err := Build(docs, Config{KeepDocuments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	builds := []struct {
+		name  string
+		build func() (interface {
+			Query(q string) ([]int32, error)
+			QueryVerified(q string) ([]int32, error)
+		}, func())
+	}{
+		{"monolithic", func() (interface {
+			Query(q string) ([]int32, error)
+			QueryVerified(q string) ([]int32, error)
+		}, func()) {
+			ix, err := Build(docs, Config{Strategy: StrategyWeighted, Weights: xmarkWeights, KeepDocuments: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix, func() { ix.Close() }
+		}},
+		{"sharded", func() (interface {
+			Query(q string) ([]int32, error)
+			QueryVerified(q string) ([]int32, error)
+		}, func()) {
+			ix, err := Build(docs, Config{Strategy: StrategyWeighted, Weights: xmarkWeights, Shards: 3, KeepDocuments: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix, func() { ix.Close() }
+		}},
+		{"flat", func() (interface {
+			Query(q string) ([]int32, error)
+			QueryVerified(q string) ([]int32, error)
+		}, func()) {
+			ix, err := Build(docs, Config{Strategy: StrategyWeighted, Weights: xmarkWeights, Layout: LayoutFlat, KeepDocuments: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix, func() { ix.Close() }
+		}},
+		{"dynamic", func() (interface {
+			Query(q string) ([]int32, error)
+			QueryVerified(q string) ([]int32, error)
+		}, func()) {
+			di, err := BuildDynamic(docs, Config{Strategy: StrategyWeighted, Weights: xmarkWeights, KeepDocuments: true}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return di, func() { di.Close() }
+		}},
+	}
+	for _, b := range builds {
+		weighted, done := b.build()
+		for _, q := range xmarkQueries {
+			want, err := base.Query(q)
+			if err != nil {
+				t.Fatalf("base %s: %v", q, err)
+			}
+			got, err := weighted.Query(q)
+			if err != nil {
+				t.Fatalf("%s: weighted %s: %v", b.name, q, err)
+			}
+			if !equalIDSlices(got, want) {
+				t.Fatalf("%s: %s: weighted %v, unweighted %v", b.name, q, got, want)
+			}
+			wantV, err := base.QueryVerified(q)
+			if err != nil {
+				t.Fatalf("base verified %s: %v", q, err)
+			}
+			gotV, err := weighted.QueryVerified(q)
+			if err != nil {
+				t.Fatalf("%s: weighted verified %s: %v", b.name, q, err)
+			}
+			if !equalIDSlices(gotV, wantV) {
+				t.Fatalf("%s: verified %s: weighted %v, unweighted %v", b.name, q, gotV, wantV)
+			}
+		}
+		done()
+	}
+}
+
+// TestWeightedSnapshotRoundtrip pins the persistence contract the adaptive
+// loop depends on: the weights live in the schema, so a weighted snapshot
+// saved and reloaded computes the same weighted priorities — and still
+// answers exactly like an unweighted index.
+func TestWeightedSnapshotRoundtrip(t *testing.T) {
+	docs := genCorpus(t, "xmark", 120)
+	base, err := Build(docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Build(docs, Config{Strategy: StrategyWeighted, Weights: xmarkWeights, KeepDocuments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	heap := filepath.Join(dir, "weighted.idx")
+	if err := weighted.SaveFile(heap); err != nil {
+		t.Fatal(err)
+	}
+	flat := filepath.Join(dir, "weighted.flat")
+	if err := weighted.SaveFlatFile(flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{heap, flat} {
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, q := range xmarkQueries {
+			want, _ := base.Query(q)
+			got, err := back.Query(q)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", path, q, err)
+			}
+			if !equalIDSlices(got, want) {
+				t.Fatalf("%s: %s: reloaded %v, want %v", path, q, got, want)
+			}
+		}
+		back.Close()
+	}
+}
+
+// TestRebuildWithWeightsEquivalence exercises the tentpole's rebuild
+// primitive on every static layout: re-sequencing a serving index around a
+// weight vector must preserve every answer and the layout itself.
+func TestRebuildWithWeightsEquivalence(t *testing.T) {
+	docs := genCorpus(t, "xmark", 150)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"monolithic", Config{KeepDocuments: true}},
+		{"sharded", Config{Shards: 3, KeepDocuments: true}},
+		{"flat", Config{Layout: LayoutFlat, KeepDocuments: true}},
+	} {
+		ix, err := Build(docs, tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := make(map[string][]int32, len(xmarkQueries))
+		for _, q := range xmarkQueries {
+			if want[q], err = ix.Query(q); err != nil {
+				t.Fatalf("%s: %s: %v", tc.name, q, err)
+			}
+		}
+		rebuilt, err := ix.RebuildWithWeights(context.Background(), xmarkWeights)
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", tc.name, err)
+		}
+		if rebuilt.Layout() != ix.Layout() {
+			t.Fatalf("%s: rebuild changed layout %s → %s", tc.name, ix.Layout(), rebuilt.Layout())
+		}
+		if st, rst := ix.Stats(), rebuilt.Stats(); rst.Documents != st.Documents || rst.Shards != st.Shards {
+			t.Fatalf("%s: rebuild changed shape %+v → %+v", tc.name, st, rst)
+		}
+		for _, q := range xmarkQueries {
+			got, err := rebuilt.Query(q)
+			if err != nil {
+				t.Fatalf("%s: rebuilt %s: %v", tc.name, q, err)
+			}
+			if !equalIDSlices(got, want[q]) {
+				t.Fatalf("%s: %s: rebuilt %v, want %v", tc.name, q, got, want[q])
+			}
+		}
+		rebuilt.Close()
+		ix.Close()
+	}
+
+	// Without the corpus there is nothing to rebuild from.
+	bare, err := Build(docs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.RebuildWithWeights(context.Background(), xmarkWeights); err == nil {
+		t.Fatal("RebuildWithWeights should fail without KeepDocuments")
+	}
+}
+
+// TestDynamicResequenceEquivalence drives the dynamic engine's in-place
+// forced rebuild: answers survive the re-sequencing, later inserts land in
+// the weighted index, and the weight vector sticks across compactions.
+func TestDynamicResequenceEquivalence(t *testing.T) {
+	docs := genCorpus(t, "xmark", 100)
+	di, err := BuildDynamic(docs, Config{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	want := make(map[string][]int32, len(xmarkQueries))
+	for _, q := range xmarkQueries {
+		if want[q], err = di.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	if err := di.Resequence(context.Background(), xmarkWeights); err != nil {
+		t.Fatalf("resequence: %v", err)
+	}
+	for _, q := range xmarkQueries {
+		got, err := di.Query(q)
+		if err != nil {
+			t.Fatalf("after resequence %s: %v", q, err)
+		}
+		if !equalIDSlices(got, want[q]) {
+			t.Fatalf("resequence changed %s: %v, want %v", q, got, want[q])
+		}
+	}
+	// Inserts keep flowing into the re-sequenced index.
+	extra := genCorpus(t, "xmark", 110)[100:]
+	for _, d := range extra {
+		if err := di.Insert(d); err != nil {
+			t.Fatalf("insert after resequence: %v", err)
+		}
+	}
+	ids, err := di.Query("//date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < len(want["//date"]) {
+		t.Fatalf("post-resequence inserts lost results: %d < %d", len(ids), len(want["//date"]))
+	}
+}

@@ -170,6 +170,24 @@ func (d *Document) WriteXML(w io.Writer) error { return xmltree.WriteXML(w, d.ro
 // String renders the tree in compact single-line form.
 func (d *Document) String() string { return d.root.String() }
 
+// Sequencing strategy names for Config.Strategy and the CLIs' -strategy
+// flags. CanonicalStrategy resolves the aliases that appear in the paper
+// and docs ("g_best", "constraint", "dfs", ...).
+const (
+	StrategyGBest        = sequence.NameGBest
+	StrategyWeighted     = sequence.NameWeighted
+	StrategyDepthFirst   = sequence.NameDepthFirst
+	StrategyBreadthFirst = sequence.NameBreadthFirst
+)
+
+// Strategies lists the canonical strategy names Config.Strategy accepts.
+func Strategies() []string { return sequence.Names() }
+
+// CanonicalStrategy resolves a strategy name or alias to its canonical
+// form, erroring on unknown names — the check the CLIs run up front so a
+// typo is a usage error (exit 2), not a build failure.
+func CanonicalStrategy(name string) (string, error) { return sequence.CanonicalName(name) }
+
 // Config tunes index construction.
 type Config struct {
 	// ValueSpace is the range of the attribute-value hash function
@@ -186,6 +204,16 @@ type Config struct {
 	// Eq 6. Weighted elements sequence earlier, shrinking the search
 	// space of queries that use them.
 	Weights map[string]float64
+	// Strategy names the sequencing strategy: "" or StrategyGBest (the
+	// paper's probability-based g_best, the default), StrategyWeighted
+	// (g_best with Weights applied as Eq 6 query-frequency weights;
+	// unknown weight paths are skipped — online-derived vectors
+	// legitimately mention paths the corpus lacks), or the positional
+	// baselines StrategyDepthFirst / StrategyBreadthFirst (Section 6
+	// comparison points: they build and report stats but cannot answer
+	// index queries, which need priority-ordered sequencing, and cannot
+	// be persisted — snapshots reconstruct priorities from the schema).
+	Strategy string
 	// BulkLoad sorts sequences before insertion (faster for static data).
 	BulkLoad bool
 	// KeepDocuments retains the corpus, enabling QueryVerified.
@@ -275,6 +303,13 @@ func BuildContext(ctx context.Context, docs []*Document, cfg Config) (ix0 *Index
 	if cfg.Layout == LayoutFlat && cfg.Shards > 1 {
 		return nil, fmt.Errorf("xseq: Layout %q is a single-partition layout; it cannot combine with Shards %d", LayoutFlat, cfg.Shards)
 	}
+	strategyName, err := sequence.CanonicalName(cfg.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("xseq: %w", err)
+	}
+	if cfg.Layout == LayoutFlat && (strategyName == StrategyDepthFirst || strategyName == StrategyBreadthFirst) {
+		return nil, fmt.Errorf("xseq: strategy %q cannot build the flat layout (flat snapshots reconstruct g_best priorities from the schema, which would not match the positional data order)", strategyName)
+	}
 	inner := make([]*xmltree.Document, len(docs))
 	for i, d := range docs {
 		if d == nil || d.root == nil {
@@ -337,22 +372,19 @@ func buildPartition(ctx context.Context, inner []*xmltree.Document, cfg Config, 
 	if err != nil {
 		return nil, nil, fmt.Errorf("schema inference: %w", err)
 	}
-	for path, w := range cfg.Weights {
-		names := strings.Split(strings.Trim(path, "/"), "/")
-		if err := sch.SetWeightByNamePath(names, w); err != nil {
-			if skipUnknownWeights {
-				continue
-			}
-			return nil, nil, fmt.Errorf("weight %q: %w", path, err)
-		}
-	}
 	var enc *pathenc.Encoder
 	if cfg.TextValues {
 		enc = pathenc.NewTextEncoder()
 	} else {
 		enc = pathenc.NewEncoder(cfg.ValueSpace)
 	}
-	strategy := sequence.NewProbability(sch, enc)
+	// The strategy constructor applies cfg.Weights to the schema before any
+	// Model is built (Models memoize priorities); the weighted strategy
+	// always skips unknown weight paths, gbest only for sharded partitions.
+	strategy, err := sequence.NewByName(cfg.Strategy, sch, enc, cfg.Weights, skipUnknownWeights)
+	if err != nil {
+		return nil, nil, err
+	}
 	ix, err := index.BuildContext(ctx, inner, index.Options{
 		Encoder:            enc,
 		Strategy:           strategy,
@@ -631,6 +663,76 @@ func (ix *Index) StoredDocuments() ([]*Document, error) {
 	return out, nil
 }
 
+// RebuildWithWeights re-sequences the retained corpus under the weighted
+// g_best strategy (Eq 6) with the given weight vector and returns a fresh
+// index — the adaptive-resequencing rebuild. The new index answers every
+// query with byte-identical results (weights change sequencing *order*,
+// never answers); what changes is the trie shape: frequently-queried paths
+// sequence earlier, sharing longer prefixes and shortening their match
+// ranges. The rebuild preserves the index's value encoding, shard count,
+// and layout; unknown weight paths are skipped (an online-derived vector
+// may name paths this corpus lacks). Requires Config.KeepDocuments at
+// build time. The receiving index is untouched and keeps serving — swap
+// the result in (e.g. via a Swapper) once it is ready.
+func (ix *Index) RebuildWithWeights(ctx context.Context, weights map[string]float64) (_ *Index, err error) {
+	defer guard(&err)
+	docs, err := ix.StoredDocuments()
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Strategy:      StrategyWeighted,
+		Weights:       weights,
+		KeepDocuments: true,
+		BulkLoad:      true,
+	}
+	switch e := ix.baseEngine().(type) {
+	case *index.Index:
+		cfg.ValueSpace, cfg.TextValues = e.Encoder().ValueSpace(), e.Encoder().TextValues()
+	case *shard.Index:
+		enc := e.Shard(0).Encoder()
+		cfg.ValueSpace, cfg.TextValues = enc.ValueSpace(), enc.TextValues()
+		cfg.Shards = e.NumShards()
+	case *flat.Index:
+		cfg.ValueSpace, cfg.TextValues = e.Encoder().ValueSpace(), e.Encoder().TextValues()
+		cfg.Layout = LayoutFlat
+	default:
+		return nil, fmt.Errorf("xseq: resequencing rebuild on layout %q: %w", ix.Layout(), ErrUnsupported)
+	}
+	out, err := BuildContext(ctx, docs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("xseq: resequencing rebuild: %w", err)
+	}
+	return out, nil
+}
+
+// persistable rejects saving indexes whose sequencing order a snapshot
+// cannot reconstruct: Load rebuilds query priorities from the persisted
+// schema (g_best over node probabilities and weights), so only gbest- and
+// weighted-sequenced indexes round-trip. A positional baseline
+// (depth-first / breadth-first) would reload with mismatched priorities
+// and silently answer queries wrongly — refuse instead.
+func (ix *Index) persistable() error {
+	var name string
+	switch e := ix.baseEngine().(type) {
+	case *index.Index:
+		if s := e.Strategy(); s != nil {
+			name = s.Name()
+		}
+	case *shard.Index:
+		if e.NumShards() > 0 {
+			if s := e.Shard(0).Strategy(); s != nil {
+				name = s.Name()
+			}
+		}
+	}
+	switch name {
+	case "", "constraint", StrategyWeighted:
+		return nil
+	}
+	return fmt.Errorf("xseq: a %s-sequenced index cannot be persisted (snapshots reconstruct g_best priorities from the schema): %w", name, ErrUnsupported)
+}
+
 // Save serializes the index (designator tables, links, document lists,
 // inferred schema, and — when built with KeepDocuments — the corpus) so it
 // can be reloaded with Load without re-parsing or re-sequencing anything.
@@ -640,6 +742,9 @@ func (ix *Index) StoredDocuments() ([]*Document, error) {
 // CRC) followed by one v2 stream per shard.
 func (ix *Index) Save(w io.Writer) (err error) {
 	defer guard(&err)
+	if err := ix.persistable(); err != nil {
+		return err
+	}
 	return ix.eng.Save(w)
 }
 
@@ -649,6 +754,9 @@ func (ix *Index) Save(w io.Writer) (err error) {
 // at path survives intact).
 func (ix *Index) SaveFile(path string) (err error) {
 	defer guard(&err)
+	if err := ix.persistable(); err != nil {
+		return err
+	}
 	return ix.eng.SaveFile(path)
 }
 
@@ -817,6 +925,11 @@ type DynamicIndex struct {
 	eng    engine.Engine // d, possibly wrapped in a result cache
 	w      *wal.WAL      // nil without Config.WALPath
 	replay wal.ReplayStats
+	// weights is the adaptive-resequencing vector the builder closure reads
+	// at build time: once Resequence installs it, every rebuild — the
+	// forced one, lazy delta builds, and future compactions — sequences
+	// under the weighted strategy, keeping main and delta order-compatible.
+	weights atomic.Pointer[map[string]float64]
 }
 
 // BuildDynamic builds an updatable index over an initial corpus (which may
@@ -844,12 +957,17 @@ func BuildDynamic(initial []*Document, cfg Config, threshold int) (_ *DynamicInd
 	// The cache layers over the dynamic engine as a whole, not inside the
 	// sub-engines it rebuilds.
 	subCfg.QueryCacheEntries = 0
+	di := &DynamicIndex{}
 	builder := func(ctx context.Context, inner []*xmltree.Document) (engine.Engine, error) {
 		wrapped := make([]*Document, len(inner))
 		for i, d := range inner {
 			wrapped[i] = &Document{id: d.ID, root: d.Root}
 		}
-		ix, err := BuildContext(ctx, wrapped, subCfg)
+		bcfg := subCfg
+		if w := di.weights.Load(); w != nil {
+			bcfg.Strategy, bcfg.Weights = StrategyWeighted, *w
+		}
+		ix, err := BuildContext(ctx, wrapped, bcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -866,7 +984,7 @@ func BuildDynamic(initial []*Document, cfg Config, threshold int) (_ *DynamicInd
 	if err != nil {
 		return nil, err
 	}
-	di := &DynamicIndex{d: dyn, eng: dyn}
+	di.d, di.eng = dyn, dyn
 	if cfg.WALPath != "" {
 		w, st, err := wal.Open(cfg.WALPath, wal.Options{
 			SyncWindow: cfg.WALSyncWindow,
@@ -943,6 +1061,27 @@ func (d *DynamicIndex) Compact() error { return d.CompactContext(context.Backgro
 func (d *DynamicIndex) CompactContext(ctx context.Context) (err error) {
 	defer guard(&err)
 	return d.d.CompactContext(ctx)
+}
+
+// Resequence installs an adaptive weight vector (slash-separated element
+// name paths -> w(C), as in Config.Weights; unknown paths are skipped) and
+// forces a full weighted rebuild of the main engine, re-sequencing every
+// document so frequently-queried paths sequence earlier — the dynamic
+// layout's half of online adaptive resequencing. The vector sticks: later
+// delta builds and compactions sequence under it too, until the next
+// Resequence. Failure containment is compaction's exactly: a failed
+// rebuild is a counted *CompactionError (degraded Health), the serving
+// state is untouched, and queries keep answering from the old sequencing.
+// A nil or empty vector reverts to the unweighted g_best strategy at the
+// next rebuild.
+func (d *DynamicIndex) Resequence(ctx context.Context, weights map[string]float64) (err error) {
+	defer guard(&err)
+	if len(weights) == 0 {
+		d.weights.Store(nil)
+	} else {
+		d.weights.Store(&weights)
+	}
+	return d.d.RebuildContext(ctx)
 }
 
 // LastCompactionError reports the most recent compaction failure, nil
